@@ -1,0 +1,445 @@
+//! The BSP gather-communicate-scatter engine (the paper's Fig. 2 runtime).
+//!
+//! Each simulated host runs `host_main`-equivalent logic on its own OS
+//! thread: rounds of **fire** (apply operators to active masters, pushing
+//! contributions along local out-edges), **reduce** (changed mirror values →
+//! masters, shipped as compact `(plan-index, value)` pairs), optional
+//! **broadcast** (firing masters' emissions → mirrors, which then push along
+//! *their* local out-edges — required exactly when the partitioning gives
+//! mirrors out-edges, i.e. vertex-cuts), and a **control** exchange that
+//! sums the global active count for termination.
+//!
+//! The communication thread is the host thread itself (as in Fig. 2, one
+//! dedicated communication thread per host); scatter work is performed as
+//! messages arrive, in any order — the property that makes the first-packet
+//! policy of LCI a perfect fit.
+
+use crate::apps::App;
+use crate::comm::{channels, ChannelSpec, CommLayer};
+use crate::label::{Label, LabelVec};
+use crate::metrics::{HostMetrics, RoundMetrics};
+use lci_graph::{DistGraph, Partitioning, Policy, Vid};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Compute threads per host (1 = compute on the host thread).
+    pub compute_threads: usize,
+    /// Force broadcast on/off; `None` derives it from the policy (vertex
+    /// cuts need it, the blocked edge-cut does not) — this is Abelian's
+    /// partition-aware communication minimization.
+    pub do_broadcast: Option<bool>,
+    /// Safety cap on rounds regardless of the app.
+    pub round_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            compute_threads: 1,
+            do_broadcast: None,
+            round_cap: 100_000,
+        }
+    }
+}
+
+/// Per-host outcome of a run.
+pub struct HostResult<L: Label> {
+    /// Host rank.
+    pub host: u16,
+    /// Final values of this host's master vertices, as `(gid, value)`.
+    pub masters: Vec<(Vid, L)>,
+    /// Timing and memory metrics.
+    pub metrics: HostMetrics,
+}
+
+/// Whole-run outcome.
+pub struct RunResult<L: Label> {
+    /// Per-host results, rank order.
+    pub hosts: Vec<HostResult<L>>,
+    /// Final value per global vertex.
+    pub values: Vec<L>,
+    /// Rounds executed (max across hosts; they agree by construction).
+    pub rounds: usize,
+}
+
+impl<L: Label> RunResult<L> {
+    /// Max peak communication-buffer footprint across hosts (Fig. 5).
+    pub fn mem_peak_max(&self) -> u64 {
+        self.hosts.iter().map(|h| h.metrics.mem_peak).max().unwrap_or(0)
+    }
+
+    /// Min peak communication-buffer footprint across hosts (Fig. 5).
+    pub fn mem_peak_min(&self) -> u64 {
+        self.hosts.iter().map(|h| h.metrics.mem_peak).min().unwrap_or(0)
+    }
+}
+
+/// Build the per-host channel specs from global partitioning knowledge
+/// (real systems exchange these sizes collectively at setup).
+fn build_specs(parts: &Partitioning, entry_bytes: usize) -> (Vec<ChannelSpec>, Vec<ChannelSpec>) {
+    let p = parts.parts.len();
+    // reduce: origin o sends to target t up to |o.mirror_send[t]| entries
+    // (+16 slack for layer-level sub-frame headers).
+    let reduce_max =
+        |o: usize, t: usize| 20 + parts.parts[o].mirror_send[t].len() * entry_bytes;
+    // broadcast: origin o sends to target t up to |o.master_recv[t]| entries.
+    let bcast_max =
+        |o: usize, t: usize| 20 + parts.parts[o].master_recv[t].len() * entry_bytes;
+
+    let mk = |max: &dyn Fn(usize, usize) -> usize| -> Vec<ChannelSpec> {
+        // Slot offsets in t's window: origins in rank order.
+        let mut offsets = vec![vec![0usize; p]; p]; // offsets[t][o]
+        for (t, row) in offsets.iter_mut().enumerate() {
+            let mut acc = 0;
+            for (o, slot) in row.iter_mut().enumerate() {
+                *slot = acc;
+                acc += 8 + max(o, t);
+            }
+        }
+        (0..p)
+            .map(|h| ChannelSpec {
+                max_recv: (0..p).map(|o| max(o, h)).collect(),
+                max_send: (0..p).map(|t| max(h, t)).collect(),
+                slot_at_peer: (0..p).map(|t| offsets[t][h]).collect(),
+            })
+            .collect()
+    };
+    (mk(&reduce_max), mk(&bcast_max))
+}
+
+/// Run a vertex program over a partitioned graph on the given layers
+/// (one per host, rank order). Returns merged results and per-host metrics.
+pub fn run_app<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    layers: &[Arc<dyn CommLayer>],
+    cfg: &EngineConfig,
+) -> RunResult<A::Acc> {
+    let p = parts.parts.len();
+    assert_eq!(layers.len(), p, "one layer per host");
+    let do_broadcast = cfg
+        .do_broadcast
+        .unwrap_or(parts.policy != Policy::EdgeCutBlocked);
+    let entry = 4 + A::Acc::WIRE_BYTES;
+    let (reduce_specs, bcast_specs) = build_specs(parts, entry);
+
+    let hosts: Vec<HostResult<A::Acc>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|h| {
+                let part = &parts.parts[h];
+                let app = Arc::clone(&app);
+                let layer = Arc::clone(&layers[h]);
+                let rspec = reduce_specs[h].clone();
+                let bspec = bcast_specs[h].clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    host_main(part, &*app, &*layer, &cfg, do_broadcast, rspec, bspec)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("host thread")).collect()
+    });
+
+    let mut values = vec![app.identity(); parts.parts[0].global_n];
+    let mut rounds = 0;
+    for hr in &hosts {
+        rounds = rounds.max(hr.metrics.num_rounds());
+        for &(gid, v) in &hr.masters {
+            values[gid as usize] = v;
+        }
+    }
+    RunResult {
+        hosts,
+        values,
+        rounds,
+    }
+}
+
+/// Frame encoding: `[count u32][(plan_index u32, value) * count]`.
+fn encode_entry<L: Label>(buf: &mut Vec<u8>, pos: u32, v: L) {
+    buf.extend_from_slice(&pos.to_le_bytes());
+    v.write(buf);
+}
+
+fn finish_frame(buf: &mut [u8], count: u32) {
+    buf[..4].copy_from_slice(&count.to_le_bytes());
+}
+
+fn decode_frame<L: Label>(data: &[u8], mut f: impl FnMut(u32, L)) {
+    if data.len() < 4 {
+        return;
+    }
+    let count = u32::from_le_bytes(data[..4].try_into().expect("len checked")) as usize;
+    let entry = 4 + L::WIRE_BYTES;
+    for i in 0..count {
+        let off = 4 + i * entry;
+        let pos = u32::from_le_bytes(data[off..off + 4].try_into().expect("frame"));
+        let v = L::read(&data[off + 4..]);
+        f(pos, v);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn host_main<A: App>(
+    part: &DistGraph,
+    app: &A,
+    layer: &dyn CommLayer,
+    cfg: &EngineConfig,
+    do_broadcast: bool,
+    reduce_spec: ChannelSpec,
+    bcast_spec: ChannelSpec,
+) -> HostResult<A::Acc> {
+    let p = part.num_hosts;
+    let me = part.host;
+    let nl = part.num_local();
+    let nm = part.num_masters as usize;
+    let identity = app.identity();
+
+    // ---- state ----------------------------------------------------------
+    // Masters hold the canonical initial value; mirrors start at the reduce
+    // identity (an add-app mirror that started at `init` would double-count
+    // it into the master at the first reduce).
+    let labels = LabelVec::new(nl, identity);
+    for l in 0..nm {
+        labels.set(l, app.init(part.l2g[l]));
+    }
+    let consumed = app
+        .output_consumed()
+        .then(|| LabelVec::new(nm, identity));
+    let changed: Vec<AtomicBool> = (0..nl).map(|_| AtomicBool::new(false)).collect();
+    let fired: Vec<AtomicBool> = (0..nm).map(|_| AtomicBool::new(false)).collect();
+    let emits = LabelVec::new(nm, identity);
+
+    for (l, flag) in changed.iter().enumerate().take(nm) {
+        if app.active_initially(part.l2g[l]) {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    // ---- channels (collective, uniform order) ----------------------------
+    layer.register_channel(channels::REDUCE, reduce_spec);
+    if do_broadcast {
+        layer.register_channel(channels::BROADCAST, bcast_spec);
+    }
+    layer.register_channel(
+        channels::CONTROL,
+        ChannelSpec::uniform(p, me, 16),
+    );
+
+    let max_rounds = app
+        .max_rounds()
+        .unwrap_or(usize::MAX)
+        .min(cfg.round_cap);
+
+    let deliver = |lid: usize, v: A::Acc| {
+        if labels.reduce_with(lid, v, |a, b| app.reduce(a, b)) {
+            changed[lid].store(true, Ordering::Release);
+        }
+    };
+
+    let mut metrics = HostMetrics::default();
+    let mut round = 0usize;
+
+    loop {
+        let round_start = Instant::now();
+
+        // ---- fire phase (computation) -----------------------------------
+        let fire_list: Vec<u32> = (0..nm as u32)
+            .filter(|&l| changed[l as usize].swap(false, Ordering::AcqRel))
+            .collect();
+
+        let fire_one = |u: u32| {
+            let ul = u as usize;
+            let v0: A::Acc = labels.get(ul);
+            let deg = part.out_degree_global[ul];
+            if app.emit(v0, deg).is_none() {
+                // Not viable: restore the changed mark so a later improvement
+                // is not lost (min-apps never hit this; PR sub-tolerance
+                // residuals are intentionally dropped).
+                return;
+            }
+            let v = if app.consuming() {
+                labels.swap(ul, identity)
+            } else {
+                v0
+            };
+            if let Some(c) = &consumed {
+                c.reduce_with(ul, v, |a, b| app.reduce(a, b));
+            }
+            let Some(e) = app.emit(v, deg) else { return };
+            emits.set(ul, e);
+            fired[ul].store(true, Ordering::Release);
+            for (nbr, w) in part.local.neighbors_weighted(u) {
+                deliver(nbr as usize, app.push(e, w));
+            }
+        };
+
+        if cfg.compute_threads > 1 && fire_list.len() > 64 {
+            let chunk = fire_list.len().div_ceil(cfg.compute_threads);
+            std::thread::scope(|scope| {
+                for ch in fire_list.chunks(chunk) {
+                    scope.spawn(|| ch.iter().for_each(|&u| fire_one(u)));
+                }
+            });
+        } else {
+            fire_list.iter().for_each(|&u| fire_one(u));
+        }
+        let compute = round_start.elapsed();
+
+        // ---- reduce phase: changed mirrors → masters ---------------------
+        let mut sent_entries = 0u64;
+        let mut sent_bytes = 0u64;
+        layer.begin(channels::REDUCE);
+        for t in 0..p as u16 {
+            if t == me {
+                continue;
+            }
+            let plan = &part.mirror_send[t as usize];
+            let mut buf = vec![0u8; 4];
+            let mut count = 0u32;
+            for (pos, &lid) in plan.iter().enumerate() {
+                let l = lid as usize;
+                if changed[l].swap(false, Ordering::AcqRel) {
+                    let v = if app.consuming() {
+                        labels.swap(l, identity)
+                    } else {
+                        labels.get(l)
+                    };
+                    encode_entry(&mut buf, pos as u32, v);
+                    count += 1;
+                }
+            }
+            finish_frame(&mut buf, count);
+            sent_entries += count as u64;
+            sent_bytes += buf.len() as u64;
+            layer.send(channels::REDUCE, t, buf);
+        }
+        layer.finish_sends(channels::REDUCE);
+        let mut got = 0usize;
+        while got + 1 < p {
+            match layer.try_recv(channels::REDUCE) {
+                Some((src, data)) => {
+                    got += 1;
+                    let plan = &part.master_recv[src as usize];
+                    decode_frame::<A::Acc>(&data, |pos, v| {
+                        deliver(plan[pos as usize] as usize, v);
+                    });
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+
+        // ---- broadcast phase: firing masters' emissions → mirrors --------
+        if do_broadcast {
+            layer.begin(channels::BROADCAST);
+            for t in 0..p as u16 {
+                if t == me {
+                    continue;
+                }
+                let plan = &part.master_recv[t as usize];
+                let mut buf = vec![0u8; 4];
+                let mut count = 0u32;
+                for (pos, &lid) in plan.iter().enumerate() {
+                    if fired[lid as usize].load(Ordering::Acquire) {
+                        encode_entry(&mut buf, pos as u32, emits.get::<A::Acc>(lid as usize));
+                        count += 1;
+                    }
+                }
+                finish_frame(&mut buf, count);
+                sent_entries += count as u64;
+                sent_bytes += buf.len() as u64;
+                layer.send(channels::BROADCAST, t, buf);
+            }
+            layer.finish_sends(channels::BROADCAST);
+            let mut got = 0usize;
+            while got + 1 < p {
+                match layer.try_recv(channels::BROADCAST) {
+                    Some((src, data)) => {
+                        got += 1;
+                        let plan = &part.mirror_send[src as usize];
+                        decode_frame::<A::Acc>(&data, |pos, e| {
+                            let lid = plan[pos as usize] as usize;
+                            // Canonical sync of the mirror cache (min-apps
+                            // only: emissions equal canonical values there).
+                            if !app.consuming() {
+                                labels.reduce_with(lid, e, |a, b| app.reduce(a, b));
+                            }
+                            // Mirror-side pushes along its local out-edges.
+                            for (nbr, w) in part.local.neighbors_weighted(lid as Vid) {
+                                deliver(nbr as usize, app.push(e, w));
+                            }
+                        });
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        }
+        for &u in &fire_list {
+            fired[u as usize].store(false, Ordering::Relaxed);
+        }
+
+        // ---- control: global active count --------------------------------
+        let local_active: u64 = (0..nl)
+            .filter(|&l| {
+                changed[l].load(Ordering::Acquire)
+                    && app
+                        .emit(labels.get(l), part.out_degree_global[l])
+                        .is_some()
+            })
+            .count() as u64;
+        layer.begin(channels::CONTROL);
+        for t in 0..p as u16 {
+            if t != me {
+                layer.send(channels::CONTROL, t, local_active.to_le_bytes().to_vec());
+            }
+        }
+        layer.finish_sends(channels::CONTROL);
+        let mut total = local_active;
+        let mut got = 0usize;
+        while got + 1 < p {
+            match layer.try_recv(channels::CONTROL) {
+                Some((_, data)) => {
+                    got += 1;
+                    total += u64::from_le_bytes(data[..8].try_into().expect("control"));
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+
+        let wall = round_start.elapsed();
+        metrics.rounds.push(RoundMetrics {
+            compute,
+            comm: wall.saturating_sub(compute),
+            sent_entries,
+            sent_bytes,
+        });
+        round += 1;
+        if total == 0 || round >= max_rounds {
+            break;
+        }
+    }
+
+    let book = layer.membook();
+    metrics.mem_peak = book.peak();
+    metrics.mem_total_allocated = book.total_allocated();
+
+    let masters = (0..nm)
+        .map(|l| {
+            let v = match &consumed {
+                Some(c) => c.get(l),
+                None => labels.get(l),
+            };
+            (part.l2g[l], v)
+        })
+        .collect();
+
+    HostResult {
+        host: me,
+        masters,
+        metrics,
+    }
+}

@@ -1,0 +1,196 @@
+//! Vertex label values: bit-packable, atomically reducible.
+//!
+//! Labels live in `AtomicU64` slots so that compute threads can apply
+//! reductions concurrently with compare-and-swap, and serialize to fixed
+//! widths for the wire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A value that can live in a vertex label slot and travel on the wire.
+pub trait Label: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Serialized width in bytes (4 or 8).
+    const WIRE_BYTES: usize;
+
+    /// Pack into a u64 slot.
+    fn to_bits(self) -> u64;
+    /// Unpack from a u64 slot.
+    fn from_bits(bits: u64) -> Self;
+
+    /// Append the wire encoding to `out`.
+    fn write(self, out: &mut Vec<u8>) {
+        let b = self.to_bits().to_le_bytes();
+        out.extend_from_slice(&b[..Self::WIRE_BYTES]);
+    }
+
+    /// Decode from the first `WIRE_BYTES` of `buf`.
+    fn read(buf: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b[..Self::WIRE_BYTES].copy_from_slice(&buf[..Self::WIRE_BYTES]);
+        Self::from_bits(u64::from_le_bytes(b))
+    }
+}
+
+impl Label for u32 {
+    const WIRE_BYTES: usize = 4;
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Label for u64 {
+    const WIRE_BYTES: usize = 8;
+    fn to_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Label for f32 {
+    const WIRE_BYTES: usize = 4;
+    fn to_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+/// A vector of atomically updatable label slots.
+pub struct LabelVec {
+    slots: Vec<AtomicU64>,
+}
+
+impl LabelVec {
+    /// `n` slots initialized to `init`.
+    pub fn new<L: Label>(n: usize, init: L) -> LabelVec {
+        LabelVec {
+            slots: (0..n).map(|_| AtomicU64::new(init.to_bits())).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Read slot `i`.
+    pub fn get<L: Label>(&self, i: usize) -> L {
+        L::from_bits(self.slots[i].load(Ordering::Acquire))
+    }
+
+    /// Overwrite slot `i`.
+    pub fn set<L: Label>(&self, i: usize, v: L) {
+        self.slots[i].store(v.to_bits(), Ordering::Release);
+    }
+
+    /// Atomically replace slot `i` with `v`, returning the previous value.
+    /// Used by consuming operators (PageRank takes its residual exactly
+    /// once even while neighbors keep adding to it).
+    pub fn swap<L: Label>(&self, i: usize, v: L) -> L {
+        L::from_bits(self.slots[i].swap(v.to_bits(), Ordering::AcqRel))
+    }
+
+    /// Atomically apply `reduce(cur, v)`; returns `true` if the stored value
+    /// changed. `reduce` must be idempotent-safe under retries (pure).
+    pub fn reduce_with<L: Label>(
+        &self,
+        i: usize,
+        v: L,
+        mut reduce: impl FnMut(L, L) -> L,
+    ) -> bool {
+        let slot = &self.slots[i];
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let new = reduce(L::from_bits(cur), v);
+            if new.to_bits() == cur {
+                return false;
+            }
+            match slot.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_wire_roundtrip() {
+        let mut out = Vec::new();
+        42u32.write(&mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(u32::read(&out), 42);
+    }
+
+    #[test]
+    fn f32_wire_roundtrip() {
+        let mut out = Vec::new();
+        (0.15f32).write(&mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(f32::read(&out), 0.15);
+    }
+
+    #[test]
+    fn u64_wire_roundtrip() {
+        let mut out = Vec::new();
+        (u64::MAX - 3).write(&mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(u64::read(&out), u64::MAX - 3);
+    }
+
+    #[test]
+    fn label_vec_reduce_min() {
+        let v = LabelVec::new(4, u32::MAX);
+        assert!(v.reduce_with(0, 5u32, |a, b| a.min(b)));
+        assert!(!v.reduce_with(0, 9u32, |a, b| a.min(b)), "9 > 5: no change");
+        assert!(v.reduce_with(0, 2u32, |a, b| a.min(b)));
+        assert_eq!(v.get::<u32>(0), 2);
+        assert_eq!(v.get::<u32>(1), u32::MAX);
+    }
+
+    #[test]
+    fn label_vec_reduce_add_f32() {
+        let v = LabelVec::new(1, 0.0f32);
+        for _ in 0..10 {
+            v.reduce_with(0, 0.5f32, |a, b| a + b);
+        }
+        assert_eq!(v.get::<f32>(0), 5.0);
+    }
+
+    #[test]
+    fn concurrent_min_reduction_converges() {
+        let v = std::sync::Arc::new(LabelVec::new(1, u32::MAX));
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let v = std::sync::Arc::clone(&v);
+                std::thread::spawn(move || {
+                    for i in (0..1000).rev() {
+                        v.reduce_with(0, (t * 1000 + i) as u32, |a, b| a.min(b));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(v.get::<u32>(0), 0);
+    }
+}

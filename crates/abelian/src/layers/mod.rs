@@ -1,0 +1,83 @@
+//! The three communication-layer implementations compared in the paper.
+
+mod lci_layer;
+mod probe_layer;
+mod rma_layer;
+
+pub use lci_layer::LciLayer;
+pub use probe_layer::MpiProbeLayer;
+pub use rma_layer::MpiRmaLayer;
+
+use crate::comm::CommLayer;
+use std::sync::Arc;
+
+/// Which communication layer to use (sweep axis in the benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// The paper's contribution.
+    Lci,
+    /// Two-sided MPI with `MPI_Iprobe` (the baseline).
+    MpiProbe,
+    /// One-sided MPI with PSCW windows (the lower-bound attempt).
+    MpiRma,
+}
+
+impl LayerKind {
+    /// All kinds, sweep order.
+    pub fn all() -> [LayerKind; 3] {
+        [LayerKind::Lci, LayerKind::MpiProbe, LayerKind::MpiRma]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerKind::Lci => "lci",
+            LayerKind::MpiProbe => "mpi-probe",
+            LayerKind::MpiRma => "mpi-rma",
+        }
+    }
+}
+
+/// Build one layer per host of the given kind over a fresh fabric.
+///
+/// Returns the layers in rank order. The caller keeps the returned guard
+/// alive for the duration of the run (it owns the fabric / worlds).
+pub fn build_layers(
+    kind: LayerKind,
+    fabric_cfg: lci_fabric::FabricConfig,
+    mpi_cfg: mini_mpi::MpiConfig,
+    lci_cfg: lci::LciConfig,
+) -> (Vec<Arc<dyn CommLayer>>, LayerWorld) {
+    let n = fabric_cfg.num_hosts;
+    match kind {
+        LayerKind::Lci => {
+            let world = lci::LciWorld::without_servers(fabric_cfg, lci_cfg);
+            let layers: Vec<Arc<dyn CommLayer>> = (0..n)
+                .map(|h| Arc::new(LciLayer::new(world.device(h))) as Arc<dyn CommLayer>)
+                .collect();
+            (layers, LayerWorld::Lci(world))
+        }
+        LayerKind::MpiProbe => {
+            let world = mini_mpi::MpiWorld::new(fabric_cfg, mpi_cfg);
+            let layers: Vec<Arc<dyn CommLayer>> = (0..n)
+                .map(|h| Arc::new(MpiProbeLayer::new(world.comm(h))) as Arc<dyn CommLayer>)
+                .collect();
+            (layers, LayerWorld::Mpi(world))
+        }
+        LayerKind::MpiRma => {
+            let world = mini_mpi::MpiWorld::new(fabric_cfg, mpi_cfg);
+            let layers: Vec<Arc<dyn CommLayer>> = (0..n)
+                .map(|h| Arc::new(MpiRmaLayer::new(world.comm(h))) as Arc<dyn CommLayer>)
+                .collect();
+            (layers, LayerWorld::Mpi(world))
+        }
+    }
+}
+
+/// Keep-alive guard for the world behind a set of layers.
+pub enum LayerWorld {
+    /// LCI world (fabric + devices).
+    Lci(lci::LciWorld),
+    /// mini-mpi world (fabric + communicators).
+    Mpi(mini_mpi::MpiWorld),
+}

@@ -1,0 +1,271 @@
+//! End-to-end correctness: every app × every communication layer × every
+//! partitioning policy must reproduce the sequential reference results.
+
+use abelian::apps::{reference, App, Bfs, Cc, PageRank, Sssp, WidestPath};
+use abelian::{build_layers, run_app, EngineConfig, LayerKind};
+use lci_fabric::FabricConfig;
+use lci_graph::{gen, partition, CsrGraph, Policy};
+use std::sync::Arc;
+
+fn run<A: App>(
+    g: &CsrGraph,
+    hosts: usize,
+    policy: Policy,
+    kind: LayerKind,
+    app: A,
+) -> Vec<A::Acc> {
+    let parts = partition(g, hosts, policy);
+    parts.validate(g);
+    let (layers, _world) = build_layers(
+        kind,
+        FabricConfig::test(hosts),
+        mini_mpi::MpiConfig::default()
+            .with_personality(mini_mpi::Personality::zero()),
+        lci::LciConfig::for_hosts(hosts),
+    );
+    let result = run_app(&parts, Arc::new(app), &layers, &EngineConfig::default());
+    result.values
+}
+
+#[test]
+fn bfs_matches_reference_all_layers_all_policies() {
+    let g = gen::rmat(8, 6, 42);
+    let expect = reference::bfs(&g, 0);
+    for kind in LayerKind::all() {
+        for policy in Policy::all() {
+            let got = run(&g, 4, policy, kind, Bfs { source: 0 });
+            assert_eq!(
+                got, expect,
+                "bfs mismatch: {} / {}",
+                kind.name(),
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_matches_reference_all_layers() {
+    let g = gen::randomize_weights(&gen::rmat(8, 6, 7), 10, 3);
+    let expect = reference::sssp(&g, 0);
+    for kind in LayerKind::all() {
+        let got = run(&g, 4, Policy::VertexCutCartesian, kind, Sssp { source: 0 });
+        assert_eq!(got, expect, "sssp mismatch: {}", kind.name());
+    }
+}
+
+#[test]
+fn cc_matches_reference_all_layers() {
+    let g = gen::rmat(8, 4, 11);
+    let expect = reference::cc(&g);
+    for kind in LayerKind::all() {
+        let got = run(&g, 4, Policy::VertexCutCartesian, kind, Cc);
+        assert_eq!(got, expect, "cc mismatch: {}", kind.name());
+    }
+}
+
+#[test]
+fn pagerank_close_to_reference_all_layers() {
+    let g = gen::rmat(8, 6, 9);
+    let pr = PageRank {
+        alpha: 0.85,
+        tolerance: 1e-4,
+        max_iters: 100,
+    };
+    let expect = reference::pagerank(&g, 0.85, 1e-4, 100);
+    for kind in LayerKind::all() {
+        let got = run(
+            &g,
+            4,
+            Policy::VertexCutCartesian,
+            kind,
+            PageRank {
+                alpha: 0.85,
+                tolerance: 1e-4,
+                max_iters: 100,
+            },
+        );
+        // The distributed schedule differs from the sequential one, so the
+        // dropped sub-tolerance residuals differ: allow a small bound.
+        let n = g.num_vertices();
+        for v in 0..n {
+            let d = (got[v] - expect[v]).abs();
+            assert!(
+                d <= 0.05 * expect[v].max(1.0),
+                "pagerank[{v}] {} vs {} via {}",
+                got[v],
+                expect[v],
+                kind.name()
+            );
+        }
+        let _ = &pr;
+    }
+}
+
+#[test]
+fn widest_path_matches_reference_all_layers() {
+    // Max-based reduction: the remaining monotone reduce class.
+    let g = gen::randomize_weights(&gen::rmat(8, 6, 19), 50, 5);
+    let expect = reference::widest_path(&g, 0);
+    for kind in LayerKind::all() {
+        let got = run(
+            &g,
+            4,
+            Policy::VertexCutCartesian,
+            kind,
+            WidestPath { source: 0 },
+        );
+        assert_eq!(got, expect, "widest mismatch: {}", kind.name());
+    }
+}
+
+#[test]
+fn multi_source_reach_matches_reference() {
+    use abelian::apps::MultiSourceReach;
+    let g = gen::rmat(8, 6, 23);
+    let sources = vec![0, 17, 99, 200];
+    let expect = reference::multi_source_reach(&g, &sources);
+    for kind in LayerKind::all() {
+        let got = run(
+            &g,
+            4,
+            Policy::VertexCutCartesian,
+            kind,
+            MultiSourceReach {
+                sources: sources.clone(),
+            },
+        );
+        assert_eq!(got, expect, "msreach mismatch: {}", kind.name());
+    }
+}
+
+#[test]
+fn probe_layer_aggregation_of_tiny_messages() {
+    // A path graph at 4 hosts produces hundreds of rounds of tiny frames —
+    // all under the aggregation threshold, so everything flows through the
+    // buffered network layer (§III-B) and must still be correct.
+    let g = gen::path(200);
+    let expect = reference::bfs(&g, 0);
+    let got = run(
+        &g,
+        4,
+        Policy::EdgeCutBlocked,
+        LayerKind::MpiProbe,
+        Bfs { source: 0 },
+    );
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn bfs_on_path_graph_worst_case_rounds() {
+    // A path forces one round per level: stress the round machinery.
+    let g = gen::path(64);
+    let expect = reference::bfs(&g, 0);
+    let got = run(&g, 3, Policy::EdgeCutBlocked, LayerKind::Lci, Bfs { source: 0 });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn single_host_degenerate_case() {
+    let g = gen::rmat(7, 4, 5);
+    let expect = reference::bfs(&g, 0);
+    for kind in LayerKind::all() {
+        let got = run(&g, 1, Policy::EdgeCutBlocked, kind, Bfs { source: 0 });
+        assert_eq!(got, expect, "single-host {}", kind.name());
+    }
+}
+
+#[test]
+fn unreachable_vertices_stay_at_identity() {
+    // Star pointing out of 0: vertex 0 reaches everyone; from 1, nothing.
+    let g = gen::star(16);
+    let got = run(&g, 2, Policy::EdgeCutBlocked, LayerKind::Lci, Bfs { source: 1 });
+    assert_eq!(got[1], 0);
+    for v in [0usize, 2, 3, 15] {
+        if v != 1 {
+            assert_eq!(got[v], u32::MAX, "vertex {v} should be unreachable");
+        }
+    }
+}
+
+#[test]
+fn many_hosts_odd_count() {
+    let g = gen::rmat(8, 6, 21);
+    let expect = reference::cc(&g);
+    let got = run(&g, 7, Policy::VertexCutHash, LayerKind::Lci, Cc);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn metrics_are_recorded() {
+    let g = gen::rmat(7, 4, 2);
+    let parts = partition(&g, 2, Policy::EdgeCutBlocked);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(2),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(2),
+    );
+    let result = run_app(
+        &parts,
+        Arc::new(Bfs { source: 0 }),
+        &layers,
+        &EngineConfig::default(),
+    );
+    assert!(result.rounds > 0);
+    for h in &result.hosts {
+        assert_eq!(h.metrics.num_rounds(), result.rounds);
+        assert!(h.metrics.rounds.iter().any(|r| r.sent_bytes > 0));
+    }
+}
+
+#[test]
+fn rma_memory_dwarfs_lci_memory() {
+    // The Fig. 5 effect in miniature: MPI-RMA pre-allocates worst-case
+    // windows; LCI's transient buffers peak far lower.
+    let g = gen::rmat(9, 8, 13);
+    let parts = partition(&g, 4, Policy::VertexCutCartesian);
+    let mk = |kind| {
+        let (layers, _world) = build_layers(
+            kind,
+            FabricConfig::test(4),
+            mini_mpi::MpiConfig::default()
+                .with_personality(mini_mpi::Personality::zero()),
+            lci::LciConfig::for_hosts(4),
+        );
+        let r = run_app(
+            &parts,
+            Arc::new(Bfs { source: 0 }),
+            &layers,
+            &EngineConfig::default(),
+        );
+        (r.mem_peak_min(), r.mem_peak_max(), _world)
+    };
+    let (_, lci_max, _w1) = mk(LayerKind::Lci);
+    let (rma_min, _, _w2) = mk(LayerKind::MpiRma);
+    assert!(
+        rma_min as f64 > 1.5 * lci_max as f64,
+        "RMA min peak {rma_min} should dwarf LCI max peak {lci_max}"
+    );
+}
+
+#[test]
+fn multithreaded_compute_matches_single() {
+    let g = gen::rmat(9, 8, 17);
+    let parts = partition(&g, 2, Policy::VertexCutCartesian);
+    let expect = reference::cc(&g);
+    for threads in [1usize, 3] {
+        let (layers, _world) = build_layers(
+            LayerKind::Lci,
+            FabricConfig::test(2),
+            mini_mpi::MpiConfig::default(),
+            lci::LciConfig::for_hosts(2),
+        );
+        let cfg = EngineConfig {
+            compute_threads: threads,
+            ..Default::default()
+        };
+        let r = run_app(&parts, Arc::new(Cc), &layers, &cfg);
+        assert_eq!(r.values, expect, "threads={threads}");
+    }
+}

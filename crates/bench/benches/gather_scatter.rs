@@ -1,0 +1,59 @@
+//! Gather/scatter throughput: encoding and applying the engine's compact
+//! `(plan-index, value)` frames, plus Gemini's dense frames — the CPU side
+//! of the gather-communicate-scatter pattern (§III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn encode_sparse(positions: &[u32], values: &[u32]) -> Vec<u8> {
+    let mut buf = vec![0u8; 4];
+    for (p, v) in positions.iter().zip(values) {
+        buf.extend_from_slice(&p.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let count = positions.len() as u32;
+    buf[..4].copy_from_slice(&count.to_le_bytes());
+    buf
+}
+
+fn decode_sparse(buf: &[u8], out: &mut [u32]) {
+    let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    for i in 0..count {
+        let off = 4 + i * 8;
+        let pos = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        let v = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+        out[pos] = out[pos].min(v);
+    }
+}
+
+fn gather_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(20);
+
+    for n in [1_000usize, 100_000] {
+        let positions: Vec<u32> = (0..n as u32).collect();
+        let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("encode-sparse", n), &n, |b, _| {
+            b.iter(|| encode_sparse(&positions, &values));
+        });
+        let frame = encode_sparse(&positions, &values);
+        let mut target = vec![u32::MAX; n];
+        group.bench_with_input(BenchmarkId::new("scatter-min", n), &n, |b, _| {
+            b.iter(|| decode_sparse(&frame, &mut target));
+        });
+        // Dense: raw value array.
+        let dense: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        group.bench_with_input(BenchmarkId::new("scatter-dense", n), &n, |b, _| {
+            b.iter(|| {
+                for (pos, chunk) in dense.chunks_exact(4).enumerate() {
+                    let v = u32::from_le_bytes(chunk.try_into().unwrap());
+                    target[pos] = target[pos].min(v);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gather_scatter);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! The cost MPI pays that LCI doesn't: matching-queue traversal.
+//!
+//! Measures `iprobe` latency as the unexpected-message queue grows — the
+//! "traversal of sequential lists" the paper identifies as intrinsic to
+//! MPI's design (§I). LCI's `RECV-DEQ` pops a queue head in O(1) regardless
+//! of backlog.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lci::{LciConfig, LciWorld};
+use lci_fabric::FabricConfig;
+use mini_mpi::{MpiConfig, MpiWorld, Personality};
+
+fn matching_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_overhead");
+    group.sample_size(20);
+
+    for backlog in [0usize, 16, 128] {
+        // MPI: fill the unexpected queue with `backlog` unmatched messages
+        // (distinct tags), then measure probing for the last arrival.
+        let world = MpiWorld::new(
+            FabricConfig::test(2),
+            MpiConfig::default().with_personality(Personality::intel()),
+        );
+        let a = world.comm(0);
+        let b = world.comm(1);
+        for i in 0..backlog {
+            a.send_blocking(Bytes::from_static(b"x"), 1, 1000 + i as u32)
+                .unwrap();
+        }
+        // Make sure they are all in b's unexpected queue.
+        while b.iprobe(Some(0), Some(1000 + backlog.saturating_sub(1) as u32)).unwrap().is_none()
+            && backlog > 0
+        {
+            std::thread::yield_now();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("mpi-iprobe-miss", backlog),
+            &backlog,
+            |bench, _| {
+                bench.iter(|| {
+                    // A probe that matches nothing scans the whole backlog.
+                    assert!(b.iprobe(Some(0), Some(99)).unwrap().is_none());
+                });
+            },
+        );
+
+        // LCI: same backlog parked in the receive queue; RECV-DEQ is O(1).
+        let lworld = LciWorld::without_servers(FabricConfig::test(2), LciConfig::default());
+        let la = lworld.device(0);
+        let lb = lworld.device(1);
+        for i in 0..backlog {
+            loop {
+                match la.send_enq(Bytes::from_static(b"x"), 1, 1000 + i as u32) {
+                    Ok(_) => break,
+                    Err(e) if e.is_retryable() => {
+                        la.progress();
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        for _ in 0..10_000 {
+            lb.progress();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("lci-recv-deq-poll", backlog),
+            &backlog,
+            |bench, _| {
+                bench.iter(|| {
+                    // Pop and observe; the backlog length is irrelevant.
+                    if let Some(r) = lb.recv_deq() {
+                        let _ = r.take_data();
+                    }
+                    lb.progress();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matching_bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the send/receive critical paths on an
+//! instant wire: isolates *software* overhead per message (the quantity the
+//! paper's Fig. 1 ultimately measures) from wire latency.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lci::{LciConfig, LciWorld};
+use lci_fabric::FabricConfig;
+use mini_mpi::{MpiConfig, MpiWorld, Personality};
+
+fn lci_echo(c: &mut Criterion) {
+    let world = LciWorld::without_servers(FabricConfig::test(2), LciConfig::default());
+    let a = world.device(0);
+    let b = world.device(1);
+    let mut group = c.benchmark_group("send_recv_path");
+    group.sample_size(20);
+
+    for size in [8usize, 1024] {
+        let payload = Bytes::from(vec![7u8; size]);
+        group.bench_with_input(BenchmarkId::new("lci-queue", size), &size, |bench, _| {
+            bench.iter(|| {
+                loop {
+                    match a.send_enq(payload.clone(), 1, 1) {
+                        Ok(_) => break,
+                        Err(e) if e.is_retryable() => {
+                            a.progress();
+                        }
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                loop {
+                    a.progress();
+                    b.progress();
+                    if let Some(r) = b.recv_deq() {
+                        let _ = r.take_data();
+                        break;
+                    }
+                }
+            });
+        });
+    }
+
+    let world = MpiWorld::new(
+        FabricConfig::test(2),
+        MpiConfig::default().with_personality(Personality::intel()),
+    );
+    let a = world.comm(0);
+    let b = world.comm(1);
+    for size in [8usize, 1024] {
+        let payload = Bytes::from(vec![7u8; size]);
+        group.bench_with_input(BenchmarkId::new("mpi-probe", size), &size, |bench, _| {
+            bench.iter(|| {
+                a.send_blocking(payload.clone(), 1, 1).unwrap();
+                loop {
+                    if let Some(st) = b.iprobe(None, None).unwrap() {
+                        let (_, _) = b.recv_blocking(Some(st.src), Some(st.tag)).unwrap();
+                        break;
+                    }
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mpi-noprobe", size), &size, |bench, _| {
+            bench.iter(|| {
+                a.send_blocking(payload.clone(), 1, 1).unwrap();
+                let (_, _) = b.recv_blocking(Some(0), Some(1)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lci_echo);
+criterion_main!(benches);

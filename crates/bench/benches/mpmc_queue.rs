@@ -1,0 +1,66 @@
+//! Ablation: the fetch-and-add MPMC queue (paper ref [26]) vs a mutexed
+//! `VecDeque` and crossbeam's `SegQueue` under the runtime's access pattern
+//! (progress thread pushes, compute threads pop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::queue::SegQueue;
+use lci::MpmcQueue;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+fn queue_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpmc_queue");
+    group.sample_size(20);
+
+    let q = MpmcQueue::new(1024);
+    group.bench_function("faa push+pop", |b| {
+        b.iter(|| {
+            q.push(42u64);
+            assert_eq!(q.try_pop(), Some(42));
+        });
+    });
+    group.bench_function("faa burst64", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                q.push(i);
+            }
+            for _ in 0..64 {
+                q.try_pop().expect("pushed");
+            }
+        });
+    });
+
+    let m: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::with_capacity(1024));
+    group.bench_function("mutex-deque push+pop", |b| {
+        b.iter(|| {
+            m.lock().push_back(42);
+            assert_eq!(m.lock().pop_front(), Some(42));
+        });
+    });
+    group.bench_function("mutex-deque burst64", |b| {
+        b.iter(|| {
+            {
+                let mut g = m.lock();
+                for i in 0..64u64 {
+                    g.push_back(i);
+                }
+            }
+            let mut g = m.lock();
+            for _ in 0..64 {
+                g.pop_front().expect("pushed");
+            }
+        });
+    });
+
+    let s: SegQueue<u64> = SegQueue::new();
+    group.bench_function("segqueue push+pop", |b| {
+        b.iter(|| {
+            s.push(42);
+            assert_eq!(s.pop(), Some(42));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: the locality-aware packet pool vs a single global-lock pool.
+//!
+//! DESIGN.md calls out pool locality as one of LCI's design choices (packets
+//! freed by a thread return to that thread's shard). This bench compares
+//! alloc/free throughput against a naive `Mutex<Vec<_>>` pool under the same
+//! access pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lci::PacketPool;
+use parking_lot::Mutex;
+
+struct GlobalPool {
+    slots: Mutex<Vec<Box<[u8]>>>,
+}
+
+impl GlobalPool {
+    fn new(count: usize, payload: usize) -> Self {
+        GlobalPool {
+            slots: Mutex::new(
+                (0..count)
+                    .map(|_| vec![0u8; payload].into_boxed_slice())
+                    .collect(),
+            ),
+        }
+    }
+    fn alloc(&self) -> Option<Box<[u8]>> {
+        self.slots.lock().pop()
+    }
+    fn free(&self, p: Box<[u8]>) {
+        self.slots.lock().push(p);
+    }
+}
+
+fn pool_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_pool");
+    group.sample_size(20);
+
+    let pool = PacketPool::new(256, 8192, 8);
+    group.bench_function("locality-aware alloc/free", |b| {
+        b.iter(|| {
+            let p = pool.alloc().expect("pool sized for bench");
+            pool.free(p);
+        });
+    });
+    group.bench_function("locality-aware burst8", |b| {
+        b.iter(|| {
+            let held: Vec<_> = (0..8).map(|_| pool.alloc().expect("ok")).collect();
+            for p in held {
+                pool.free(p);
+            }
+        });
+    });
+
+    let global = GlobalPool::new(256, 8192);
+    group.bench_function("global-mutex alloc/free", |b| {
+        b.iter(|| {
+            let p = global.alloc().expect("ok");
+            global.free(p);
+        });
+    });
+    group.bench_function("global-mutex burst8", |b| {
+        b.iter(|| {
+            let held: Vec<_> = (0..8).map(|_| global.alloc().expect("ok")).collect();
+            for p in held {
+                global.free(p);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pool_bench);
+criterion_main!(benches);

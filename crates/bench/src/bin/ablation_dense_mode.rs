@@ -1,0 +1,70 @@
+//! **Ablation** — Gemini's dense/sparse mode threshold.
+//!
+//! Sweeps the dense-mode activation threshold for CC (all-active first
+//! round, then sparsifying): always-sparse pays per-entry indices on dense
+//! rounds; always-dense ships full arrays on nearly-empty rounds; the
+//! adaptive middle matches Gemini's design.
+//!
+//! Env knobs: `ABL_GRAPH` (default rmat13), `ABL_HOSTS` (default 4),
+//! `BENCH_TRIALS` (default 3).
+
+use abelian::apps::Cc;
+use abelian::{build_layers, LayerKind};
+use gemini::{run_gemini, GeminiConfig};
+use lci_bench::{env_str, env_usize, graph_by_name, partition_for};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let gname = env_str("ABL_GRAPH", "rmat13");
+    let hosts = env_usize("ABL_HOSTS", 4);
+    let trials = env_usize("BENCH_TRIALS", 3);
+    let g = graph_by_name(&gname);
+    let parts = partition_for(&g, hosts, "gemini");
+
+    println!("# Ablation: Gemini dense-mode threshold, cc on {gname} @ {hosts} hosts");
+    println!(
+        "{:>12} | {:>10} | {:>14} | {:>12}",
+        "threshold", "time", "bytes sent", "mode"
+    );
+    println!("{}", "-".repeat(60));
+
+    // 2.0 = never dense (sparse only); 0.0 = always dense.
+    for &threshold in &[2.0f64, 0.5, 0.25, 0.05, 0.0] {
+        let mut best: Option<(f64, u64)> = None;
+        for _ in 0..trials {
+            let (layers, _world) = build_layers(
+                LayerKind::Lci,
+                lci_fabric::FabricConfig::stampede2(hosts),
+                mini_mpi::MpiConfig::default(),
+                lci::LciConfig::for_hosts(hosts),
+            );
+            let cfg = GeminiConfig {
+                dense_threshold: threshold,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let r = run_gemini(&parts, Arc::new(Cc), &layers, &cfg);
+            let dt = t0.elapsed().as_secs_f64();
+            let bytes: u64 = r
+                .hosts
+                .iter()
+                .flat_map(|h| h.metrics.rounds.iter())
+                .map(|m| m.sent_bytes)
+                .sum();
+            if best.is_none_or(|(b, _)| dt < b) {
+                best = Some((dt, bytes));
+            }
+        }
+        let (dt, bytes) = best.expect("at least one trial");
+        let mode = match threshold {
+            t if t >= 2.0 => "always sparse",
+            t if t <= 0.0 => "always dense",
+            _ => "adaptive",
+        };
+        println!(
+            "{:>12.2} | {:>9.3}s | {:>14} | {:>12}",
+            threshold, dt, bytes, mode
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! **Figure 5** — memory usage of communication buffers: maximum and
+//! minimum peak working set across hosts, Abelian with LCI vs MPI-RMA.
+//!
+//! Paper result: LCI's footprint is far smaller on every app (up to an
+//! order of magnitude), because MPI-RMA pre-allocates worst-case windows
+//! while LCI recycles pooled buffers; MPI-RMA's max ≈ min (the windows
+//! dominate and are sized identically).
+//!
+//! Env knobs: `FIG5_GRAPH` (default kron13), `FIG5_HOSTS` (default 4).
+
+use abelian::LayerKind;
+use lci_bench::{env_str, env_usize, fmt_bytes, graph_by_name, median_timing, partition_for, AppKind, Scenario};
+
+fn main() {
+    let gname = env_str("FIG5_GRAPH", "kron13");
+    let hosts = env_usize("FIG5_HOSTS", 4);
+    let trials = env_usize("BENCH_TRIALS", 1);
+    let g = graph_by_name(&gname);
+    let parts = partition_for(&g, hosts, "abelian");
+
+    println!("# Figure 5 reproduction: comm-buffer memory footprint, {gname} @ {hosts} hosts");
+    println!(
+        "{:<9} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+        "app", "lci-min", "lci-max", "rma-min", "rma-max", "ratio"
+    );
+    println!("{}", "-".repeat(78));
+
+    for app in AppKind::all() {
+        let sc1 = Scenario::new(&parts, LayerKind::Lci);
+        let lci_t = median_timing(trials, || sc1.run_abelian(app));
+        let sc2 = Scenario::new(&parts, LayerKind::MpiRma);
+        let rma_t = median_timing(trials, || sc2.run_abelian(app));
+        let ratio = rma_t.mem_min as f64 / lci_t.mem_max.max(1) as f64;
+        println!(
+            "{:<9} | {:>12} {:>12} | {:>12} {:>12} | {:>7.1}x",
+            app.name(),
+            fmt_bytes(lci_t.mem_min),
+            fmt_bytes(lci_t.mem_max),
+            fmt_bytes(rma_t.mem_min),
+            fmt_bytes(rma_t.mem_max),
+            ratio
+        );
+    }
+    println!("\nratio = rma-min / lci-max (paper: up to ~10x; rma max≈min)");
+}

@@ -1,0 +1,47 @@
+//! **Figure 6** — breakdown of execution time into computation and
+//! non-overlapped communication (kron30 at 128 hosts in the paper).
+//!
+//! Methodology matches the paper: per-round computation time is the maximum
+//! across hosts, summed over rounds; everything else is non-overlapped
+//! communication. Reproduction target: the compute component is roughly
+//! equal across layers; the differences concentrate in communication, where
+//! LCI is best or tied with MPI-RMA.
+//!
+//! Env knobs: `FIG6_GRAPH` (default kron13), `FIG6_HOSTS` (default 4),
+//! `FIG6_FABRIC` (default stampede2).
+
+use abelian::LayerKind;
+use lci_bench::{env_str, env_usize, fabric_by_name, fmt_dur, graph_by_name, partition_for, AppKind, Scenario};
+
+fn main() {
+    let gname = env_str("FIG6_GRAPH", "kron13");
+    let hosts = env_usize("FIG6_HOSTS", 4);
+    let fabric = env_str("FIG6_FABRIC", "stampede2");
+    let g = graph_by_name(&gname);
+    let parts = partition_for(&g, hosts, "abelian");
+
+    println!("# Figure 6 reproduction: compute vs non-overlapped comm, {gname} @ {hosts} hosts");
+    println!(
+        "{:<9} {:<10} | {:>12} {:>12} | {:>8}",
+        "app", "layer", "compute", "comm", "comm%"
+    );
+    println!("{}", "-".repeat(62));
+
+    for app in AppKind::all() {
+        for kind in LayerKind::all() {
+            let mut sc = Scenario::new(&parts, kind);
+            sc.fabric = fabric_by_name(&fabric, hosts);
+            let t = sc.run_abelian(app);
+            let total = t.compute + t.comm;
+            println!(
+                "{:<9} {:<10} | {:>12} {:>12} | {:>7.1}%",
+                app.name(),
+                kind.name(),
+                fmt_dur(t.compute),
+                fmt_dur(t.comm),
+                100.0 * t.comm.as_secs_f64() / total.as_secs_f64().max(1e-12)
+            );
+        }
+        println!();
+    }
+}

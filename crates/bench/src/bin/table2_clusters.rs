@@ -1,0 +1,50 @@
+//! **Table II** — Abelian total execution time on two clusters:
+//! Stampede2 (KNL + Omni-Path) and Stampede1 (SandyBridge + InfiniBand FDR),
+//! LCI vs MPI-Probe, rmat input.
+//!
+//! Paper result: LCI wins on both clusters (portability of the design
+//! across NICs); Stampede1's slower fabric stretches all times.
+//!
+//! Env knobs: `T2_GRAPH` (default rmat13), `T2_HOSTS` (default 4).
+
+use abelian::LayerKind;
+use lci_bench::{env_str, env_usize, fabric_by_name, graph_by_name, median_timing, partition_for, AppKind, Scenario};
+
+fn main() {
+    let gname = env_str("T2_GRAPH", "rmat13");
+    let hosts = env_usize("T2_HOSTS", 4);
+    let trials = env_usize("BENCH_TRIALS", 3);
+    let g = graph_by_name(&gname);
+    let parts = partition_for(&g, hosts, "abelian");
+
+    println!("# Table II reproduction: Abelian on two clusters, {gname} @ {hosts} hosts (seconds)");
+    println!(
+        "{:<9} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "stampede2", "", "stampede1", ""
+    );
+    println!(
+        "{:<9} | {:>10} {:>11} | {:>10} {:>11}",
+        "app", "lci", "mpi-probe", "lci", "mpi-probe"
+    );
+    println!("{}", "-".repeat(60));
+
+    for app in AppKind::all() {
+        let mut row = Vec::new();
+        for fab in ["stampede2", "stampede1"] {
+            for kind in [LayerKind::Lci, LayerKind::MpiProbe] {
+                let mut sc = Scenario::new(&parts, kind);
+                sc.fabric = fabric_by_name(fab, hosts);
+                row.push(median_timing(trials, || sc.run_abelian(app)).total.as_secs_f64());
+            }
+        }
+        println!(
+            "{:<9} | {:>10.3} {:>11.3} | {:>10.3} {:>11.3}",
+            app.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3]
+        );
+    }
+    println!("\n(paper @128 hosts, rmat28: bfs 0.59/0.60, cc 0.95/1.44, pagerank 17.60/44.26, sssp 1.11/1.17 on Stampede2)");
+}

@@ -1,0 +1,68 @@
+//! **Table IV** — other MPI implementations: LCI vs the probe and RMA
+//! layers under IntelMPI-, MVAPICH2- and OpenMPI-like personalities.
+//!
+//! Paper result: "LCI remains the winner compared to other MPI
+//! implementations. There is no clear winner between different MPI
+//! implementations, though IntelMPI-RMA performs best in the majority of
+//! cases."
+//!
+//! Env knobs: `T4_GRAPH` (default kron13), `T4_HOSTS` (default 4),
+//! `T4_APPS` (default "pagerank,cc").
+
+use abelian::LayerKind;
+use lci_bench::{env_str, env_usize, graph_by_name, median_timing, partition_for, AppKind, Scenario};
+use mini_mpi::Personality;
+
+fn main() {
+    let gname = env_str("T4_GRAPH", "kron13");
+    let hosts = env_usize("T4_HOSTS", 4);
+    let apps = env_str("T4_APPS", "pagerank,cc");
+    let trials = env_usize("BENCH_TRIALS", 3);
+    let g = graph_by_name(&gname);
+    let parts = partition_for(&g, hosts, "abelian");
+
+    println!("# Table IV reproduction: MPI implementations vs LCI, {gname} @ {hosts} hosts (seconds)");
+    println!(
+        "{:<9} | {:>8} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "app", "lci", "intel-probe", "mvap-probe", "ompi-probe", "intel-rma", "mvap-rma", "ompi-rma"
+    );
+    println!("{}", "-".repeat(110));
+
+    for app_name in apps.split(',') {
+        let app = AppKind::all()
+            .into_iter()
+            .find(|a| a.name() == app_name)
+            .unwrap_or_else(|| panic!("unknown app {app_name}"));
+
+        let sc_lci = Scenario::new(&parts, LayerKind::Lci);
+        let lci_t = median_timing(trials, || sc_lci.run_abelian(app))
+            .total
+            .as_secs_f64();
+
+        let mut cells = Vec::new();
+        for kind in [LayerKind::MpiProbe, LayerKind::MpiRma] {
+            for pers in Personality::all() {
+                let mut sc = Scenario::new(&parts, kind);
+                sc.personality = pers;
+                cells.push(median_timing(trials, || sc.run_abelian(app)).total.as_secs_f64());
+            }
+        }
+        println!(
+            "{:<9} | {:>8.3} | {:>12.3} {:>12.3} {:>12.3} | {:>12.3} {:>12.3} {:>12.3}",
+            app.name(),
+            lci_t,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5]
+        );
+        let best = cells.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "          lci vs best MPI: {:.2}x {}",
+            best / lci_t,
+            if lci_t <= best { "(lci wins)" } else { "(MPI wins — unexpected)" }
+        );
+    }
+}

@@ -1,0 +1,667 @@
+//! The LCI device: the `Queue` interface of the paper.
+//!
+//! A [`Device`] wraps one host's fabric endpoint and implements the paper's
+//! three algorithms:
+//!
+//! * **`SEND-ENQ`** (Algorithm 1) — [`Device::send_enq`]: allocate a packet
+//!   from the pool (fail retryably if exhausted), then either send eagerly
+//!   (small messages — the request is done immediately) or open a rendezvous
+//!   with an `RTS` control packet (the request completes when the RDMA put
+//!   finishes).
+//! * **`RECV-DEQ`** (Algorithm 2) — [`Device::recv_deq`]: pop the concurrent
+//!   queue of arrived first-packets. An `EGR` yields a completed request
+//!   with the data; an `RTS` allocates a landing buffer, registers it, and
+//!   answers with `RTR`.
+//! * **`NETWORK-PROGRESS`** (Algorithm 3) — [`Device::progress`]: drain the
+//!   completion queue; enqueue `EGR`/`RTS` first-packets, turn `RTR`s into
+//!   RDMA puts, and flip request status flags on completions.
+//!
+//! There is no tag matching and no ordering: completion follows the
+//! *first-packet policy* — requests surface in the order their first packet
+//! arrived, whatever the source. Upper layers that need ordering impose it
+//! themselves (Section III-D of the paper).
+//!
+//! # Request cookies
+//!
+//! Control packets carry request identities as 64-bit cookies that are raw
+//! `Arc`/`Box` pointers, mirroring how RDMA software passes work-request
+//! cookies to the NIC. Soundness rests on two invariants that hold by
+//! construction: cookies never leave the process, and each cookie is
+//! reconstructed exactly once (by the single progress call that observes the
+//! corresponding event).
+
+use crate::config::LciConfig;
+use crate::faa_queue::MpmcQueue;
+use crate::pool::{Packet, PacketPool};
+use crate::protocol::{self, PacketType};
+use crate::request::{RecvRequest, ReqInner, ReqState, SendRequest};
+use bytes::Bytes;
+use lci_fabric::{Endpoint, Event, MrKey, PacketBuf, SendError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why an operation could not be *initiated*. `NoPacket` and `Backpressure`
+/// are retryable — no resources were consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqError {
+    /// The packet pool is exhausted; retry after progress frees packets.
+    NoPacket,
+    /// The NIC injection queue is full; retry later.
+    Backpressure,
+    /// Tag or size exceeds protocol field widths.
+    TooLarge,
+    /// The device has failed fatally.
+    Closed,
+}
+
+impl EnqError {
+    /// Is this a transient condition worth retrying?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EnqError::NoPacket | EnqError::Backpressure)
+    }
+}
+
+impl std::fmt::Display for EnqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnqError::NoPacket => write!(f, "packet pool exhausted (retry)"),
+            EnqError::Backpressure => write!(f, "injection backpressure (retry)"),
+            EnqError::TooLarge => write!(f, "tag or size exceeds protocol limits"),
+            EnqError::Closed => write!(f, "device failed"),
+        }
+    }
+}
+
+impl std::error::Error for EnqError {}
+
+/// A first-packet waiting in the receive queue.
+struct RxItem {
+    src: u16,
+    tag: u32,
+    size: u64,
+    ty: PacketType,
+    data: PacketBuf,
+}
+
+/// Completion action attached to an injected fabric operation.
+enum Completion {
+    /// Return an eager/control packet to the pool once it has left the NIC.
+    FreePacket(Packet),
+    /// A rendezvous put finished: complete the sender's request.
+    PutSent(Arc<ReqInner>),
+}
+
+fn completion_cookie(c: Completion) -> u64 {
+    Box::into_raw(Box::new(c)) as u64
+}
+
+/// # Safety
+/// `cookie` must come from [`completion_cookie`] and be consumed exactly once.
+unsafe fn take_completion(cookie: u64) -> Completion {
+    *Box::from_raw(cookie as *mut Completion)
+}
+
+fn req_cookie(req: Arc<ReqInner>) -> u64 {
+    Arc::into_raw(req) as u64
+}
+
+/// # Safety
+/// `cookie` must come from [`req_cookie`] and be consumed exactly once.
+unsafe fn take_req(cookie: u64) -> Arc<ReqInner> {
+    Arc::from_raw(cookie as *const ReqInner)
+}
+
+struct PendingPut {
+    dst: u16,
+    key: MrKey,
+    payload: Bytes,
+    send_req: Arc<ReqInner>,
+    imm: u64,
+}
+
+/// An in-progress emulated-put fragment stream (psm2-style rendezvous).
+struct PendingFrags {
+    dst: u16,
+    tag: u32,
+    payload: Bytes,
+    next_offset: usize,
+    recv_cookie: u64,
+    send_req: Arc<ReqInner>,
+}
+
+/// Counters describing a device's activity (diagnostics and benches).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeviceStats {
+    /// Eager messages sent.
+    pub egr_sent: u64,
+    /// Rendezvous opened (RTS sent).
+    pub rdv_opened: u64,
+    /// Messages surfaced by `recv_deq`.
+    pub received: u64,
+    /// `send_enq` attempts rejected for lack of resources.
+    pub enq_rejected: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    egr_sent: AtomicU64,
+    rdv_opened: AtomicU64,
+    received: AtomicU64,
+    enq_rejected: AtomicU64,
+}
+
+struct DeviceInner {
+    ep: Endpoint,
+    pool: PacketPool,
+    rxq: MpmcQueue<RxItem>,
+    pending_puts: Mutex<VecDeque<PendingPut>>,
+    pending_frags: Mutex<VecDeque<PendingFrags>>,
+    progress_lock: Mutex<()>,
+    failed: AtomicBool,
+    cfg: LciConfig,
+    stats: StatsInner,
+}
+
+/// One host's LCI runtime instance. Cheap to clone; all clones share state.
+///
+/// Any thread may call [`send_enq`](Device::send_enq) and
+/// [`recv_deq`](Device::recv_deq); [`progress`](Device::progress) is
+/// normally driven by a dedicated [`CommServer`](crate::CommServer) thread.
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Build a device over a fabric endpoint.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the eager limit exceeds the
+    /// fabric's maximum payload.
+    pub fn new(ep: Endpoint, cfg: LciConfig) -> Device {
+        cfg.validate().expect("invalid LciConfig");
+        assert!(
+            cfg.eager_limit <= ep.config().max_payload,
+            "eager_limit exceeds fabric max_payload"
+        );
+        let rx_capacity = ep.config().rx_buffers.max(cfg.packet_count);
+        Device {
+            inner: Arc::new(DeviceInner {
+                pool: PacketPool::new(cfg.packet_count, cfg.packet_payload, cfg.pool_shards),
+                rxq: MpmcQueue::new(rx_capacity),
+                pending_puts: Mutex::new(VecDeque::new()),
+                pending_frags: Mutex::new(VecDeque::new()),
+                progress_lock: Mutex::new(()),
+                failed: AtomicBool::new(false),
+                cfg,
+                stats: StatsInner::default(),
+                ep,
+            }),
+        }
+    }
+
+    /// This device's rank.
+    pub fn rank(&self) -> u16 {
+        self.inner.ep.host()
+    }
+
+    /// Number of hosts in the fabric.
+    pub fn num_hosts(&self) -> usize {
+        self.inner.ep.num_hosts()
+    }
+
+    /// Has this device failed fatally?
+    pub fn is_failed(&self) -> bool {
+        self.inner.failed.load(Ordering::Acquire)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LciConfig {
+        &self.inner.cfg
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DeviceStats {
+        let s = &self.inner.stats;
+        DeviceStats {
+            egr_sent: s.egr_sent.load(Ordering::Relaxed),
+            rdv_opened: s.rdv_opened.load(Ordering::Relaxed),
+            received: s.received.load(Ordering::Relaxed),
+            enq_rejected: s.enq_rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The underlying fabric endpoint (diagnostics).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.inner.ep
+    }
+
+    /// Number of packets currently leased from the pool (diagnostics).
+    pub fn packets_outstanding(&self) -> usize {
+        self.inner.pool.outstanding()
+    }
+
+    /// Inject a packet whose first `len` bytes are the wire payload, handing
+    /// ownership to a `FreePacket` completion on success and returning the
+    /// packet to the pool on failure.
+    fn send_packet(
+        &self,
+        dst: u16,
+        header: u64,
+        packet: Packet,
+        len: usize,
+    ) -> Result<(), EnqError> {
+        let raw = Box::into_raw(Box::new(Completion::FreePacket(packet)));
+        // SAFETY: `raw` is valid and uniquely ours until the fabric accepts
+        // the cookie; the borrow of the packet ends before any hand-off.
+        let buf: &[u8] = unsafe {
+            match &*raw {
+                Completion::FreePacket(p) => &p[..len],
+                Completion::PutSent(_) => unreachable!(),
+            }
+        };
+        match self.inner.ep.try_send(dst, header, buf, raw as u64) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // SAFETY: the fabric rejected the operation, so the cookie
+                // was never handed off; reclaim it here.
+                let comp = unsafe { Box::from_raw(raw) };
+                if let Completion::FreePacket(p) = *comp {
+                    self.inner.pool.free(p);
+                }
+                Err(match e {
+                    SendError::Backpressure => EnqError::Backpressure,
+                    SendError::TooLarge => EnqError::TooLarge,
+                    _ => EnqError::Closed,
+                })
+            }
+        }
+    }
+
+    /// **`SEND-ENQ`** — initiate a send of `data` to `dst` with `tag`.
+    ///
+    /// Non-blocking and retryable: on [`EnqError::NoPacket`] or
+    /// [`EnqError::Backpressure`] no resources were consumed and the caller
+    /// should retry after the communication server has made progress — this
+    /// is LCI's answer to the resource-exhaustion crashes the paper observed
+    /// with MPI's eager protocol.
+    ///
+    /// Messages at or below the eager limit are copied into a pooled packet
+    /// and the returned request is already complete. Larger messages keep
+    /// `data` alive inside the request until the rendezvous put finishes.
+    pub fn send_enq(&self, data: Bytes, dst: u16, tag: u32) -> Result<SendRequest, EnqError> {
+        if self.is_failed() {
+            return Err(EnqError::Closed);
+        }
+        if tag > protocol::MAX_TAG || data.len() as u64 > protocol::MAX_SIZE {
+            return Err(EnqError::TooLarge);
+        }
+        let inner = &self.inner;
+        let Some(mut packet) = inner.pool.alloc() else {
+            inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EnqError::NoPacket);
+        };
+
+        if data.len() <= inner.cfg.eager_limit {
+            let len = data.len();
+            packet[..len].copy_from_slice(&data);
+            let header = protocol::pack(PacketType::Egr, tag, len as u64);
+            self.send_packet(dst, header, packet, len).inspect_err(|e| {
+                if e.is_retryable() {
+                    inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            })?;
+            // Eager sends complete at initiation: the data has been copied
+            // out of the user's buffer (Algorithm 1, line 10).
+            let req = ReqInner::new(dst, tag, len, ReqState::Empty);
+            req.mark_done();
+            inner.stats.egr_sent.fetch_add(1, Ordering::Relaxed);
+            Ok(SendRequest { inner: req })
+        } else {
+            let len = data.len();
+            let req = ReqInner::new(dst, tag, len, ReqState::SendPayload(data));
+            let cookie = req_cookie(Arc::clone(&req));
+            packet[..8].copy_from_slice(&protocol::encode_rts(cookie));
+            let header = protocol::pack(PacketType::Rts, tag, len as u64);
+            match self.send_packet(dst, header, packet, 8) {
+                Ok(()) => {
+                    inner.stats.rdv_opened.fetch_add(1, Ordering::Relaxed);
+                    Ok(SendRequest { inner: req })
+                }
+                Err(e) => {
+                    // SAFETY: the RTS never left, so the cookie is still ours.
+                    let _ = unsafe { take_req(cookie) };
+                    if e.is_retryable() {
+                        inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// **`RECV-DEQ`** — dequeue the next arrived message, if any.
+    ///
+    /// Returns `None` when no first-packet is queued *or* when answering an
+    /// `RTS` is temporarily impossible for lack of resources (the packet is
+    /// requeued). Eager receives come back complete; rendezvous receives
+    /// complete once the peer's put lands.
+    pub fn recv_deq(&self) -> Option<RecvRequest> {
+        let inner = &self.inner;
+        let item = inner.rxq.try_pop()?;
+        match item.ty {
+            PacketType::Egr => {
+                let data = item.data.into_vec();
+                debug_assert_eq!(data.len() as u64, item.size);
+                let req =
+                    ReqInner::new(item.src, item.tag, data.len(), ReqState::RecvReady(data));
+                req.mark_done();
+                inner.stats.received.fetch_add(1, Ordering::Relaxed);
+                Some(RecvRequest { inner: req })
+            }
+            PacketType::Rts => {
+                let Some(send_cookie) = protocol::decode_rts(&item.data) else {
+                    return None; // malformed control packet: drop
+                };
+                let Some(mut packet) = inner.pool.alloc() else {
+                    inner.rxq.push(item);
+                    return None;
+                };
+                // Landing buffer: a registered region for native RDMA, a
+                // plain assembly buffer for the emulated (psm2-style) path.
+                let (state, key) = match inner.cfg.put_mode {
+                    crate::config::PutMode::Rdma => {
+                        let mr = inner.ep.register_mr(item.size as usize);
+                        let key = mr.key();
+                        (ReqState::RecvMr(mr), key)
+                    }
+                    crate::config::PutMode::Emulated => (
+                        ReqState::RecvAssembly {
+                            buf: vec![0u8; item.size as usize],
+                            filled: 0,
+                        },
+                        MrKey(0),
+                    ),
+                };
+                let req = ReqInner::new(item.src, item.tag, item.size as usize, state);
+                let recv_cookie = req_cookie(Arc::clone(&req));
+                packet[..24].copy_from_slice(&protocol::encode_rtr(
+                    send_cookie,
+                    key.0,
+                    recv_cookie,
+                ));
+                let header = protocol::pack(PacketType::Rtr, item.tag, item.size);
+                match self.send_packet(item.src, header, packet, 24) {
+                    Ok(()) => {
+                        inner.stats.received.fetch_add(1, Ordering::Relaxed);
+                        Some(RecvRequest { inner: req })
+                    }
+                    Err(_) => {
+                        // Unwind: reclaim the cookie and MR, requeue the RTS.
+                        // SAFETY: the RTR never left.
+                        let _ = unsafe { take_req(recv_cookie) };
+                        if key.0 != 0 {
+                            inner.ep.deregister_mr(key);
+                        }
+                        inner.rxq.push(item);
+                        None
+                    }
+                }
+            }
+            PacketType::Rtr | PacketType::Frag => {
+                unreachable!("control/fragment packets are handled by progress")
+            }
+        }
+    }
+
+    /// **`NETWORK-PROGRESS`** — drive the protocol: drain completions,
+    /// enqueue first-packets, convert `RTR`s into RDMA puts, and retry puts
+    /// deferred by back-pressure. Returns the number of events processed.
+    ///
+    /// Safe to call from any thread, but only one caller makes progress at a
+    /// time (the paper dedicates a single communication-server thread; the
+    /// interaction between server and compute threads is limited to the
+    /// request status flags).
+    pub fn progress(&self) -> usize {
+        let inner = &self.inner;
+        let Some(_guard) = inner.progress_lock.try_lock() else {
+            return 0;
+        };
+        let mut handled = 0;
+
+        // Retry puts deferred by back-pressure.
+        {
+            let mut puts = inner.pending_puts.lock();
+            let n = puts.len();
+            for _ in 0..n {
+                let p = puts.pop_front().expect("len checked");
+                if self.issue_put(&p) {
+                    handled += 1;
+                } else {
+                    puts.push_back(p);
+                    break; // still pressured; try again next call
+                }
+            }
+        }
+
+        // Advance emulated-put fragment streams.
+        handled += self.issue_frags();
+
+        while let Some(ev) = inner.ep.poll() {
+            handled += 1;
+            match ev {
+                Event::Recv { src, header, data } => self.on_recv(src, header, data),
+                Event::SendDone { ctx } | Event::PutDone { ctx } => {
+                    // SAFETY: ctx was created by completion_cookie for this
+                    // operation and this is its unique completion event.
+                    match unsafe { take_completion(ctx) } {
+                        Completion::FreePacket(p) => inner.pool.free(p),
+                        Completion::PutSent(req) => req.mark_done(),
+                    }
+                }
+                Event::PutArrived { imm, .. } => {
+                    // SAFETY: imm is the receiver cookie from our RTR,
+                    // echoed exactly once by the peer's put.
+                    let req = unsafe { take_req(imm) };
+                    let mut st = req.state.lock();
+                    if let ReqState::RecvMr(mr) =
+                        std::mem::replace(&mut *st, ReqState::Empty)
+                    {
+                        let key = mr.key();
+                        let data = mr.take();
+                        inner.ep.deregister_mr(key);
+                        *st = ReqState::RecvReady(data);
+                    }
+                    drop(st);
+                    req.mark_done();
+                }
+                Event::Error { ctx, .. } => {
+                    inner.failed.store(true, Ordering::Release);
+                    if ctx != 0 {
+                        // SAFETY: the failed operation's cookie completes here.
+                        match unsafe { take_completion(ctx) } {
+                            Completion::FreePacket(p) => inner.pool.free(p),
+                            Completion::PutSent(req) => req.mark_error(),
+                        }
+                    }
+                }
+            }
+        }
+        handled
+    }
+
+    fn on_recv(&self, src: u16, header: u64, data: PacketBuf) {
+        let inner = &self.inner;
+        let Some((ty, tag, size)) = protocol::unpack(header) else {
+            return; // malformed
+        };
+        match ty {
+            PacketType::Egr | PacketType::Rts => {
+                inner.rxq.push(RxItem {
+                    src,
+                    tag,
+                    size,
+                    ty,
+                    data,
+                });
+            }
+            PacketType::Rtr => {
+                let Some((send_cookie, key, recv_cookie)) = protocol::decode_rtr(&data) else {
+                    return;
+                };
+                drop(data); // release the rx credit before the (long) put
+                // SAFETY: our RTS carried this cookie; the peer answers once.
+                let send_req = unsafe { take_req(send_cookie) };
+                let payload = {
+                    let mut st = send_req.state.lock();
+                    match std::mem::replace(&mut *st, ReqState::Empty) {
+                        ReqState::SendPayload(b) => b,
+                        other => {
+                            *st = other;
+                            return;
+                        }
+                    }
+                };
+                match inner.cfg.put_mode {
+                    crate::config::PutMode::Rdma => {
+                        let p = PendingPut {
+                            dst: src,
+                            key: MrKey(key),
+                            payload,
+                            send_req,
+                            imm: recv_cookie,
+                        };
+                        if !self.issue_put(&p) {
+                            inner.pending_puts.lock().push_back(p);
+                        }
+                    }
+                    crate::config::PutMode::Emulated => {
+                        inner.pending_frags.lock().push_back(PendingFrags {
+                            dst: src,
+                            tag,
+                            payload,
+                            next_offset: 0,
+                            recv_cookie,
+                            send_req,
+                        });
+                        self.issue_frags();
+                    }
+                }
+            }
+            PacketType::Frag => {
+                let Some((cookie, offset)) = protocol::decode_frag_header(&data) else {
+                    return;
+                };
+                let body = &data[16..];
+                // SAFETY: one strong reference is parked in the cookie until
+                // the final fragment; borrowing through it (without taking
+                // ownership) is valid for every non-final fragment.
+                let req = unsafe { &*(cookie as *const ReqInner) };
+                let complete = {
+                    let mut st = req.state.lock();
+                    if let ReqState::RecvAssembly { buf, filled } = &mut *st {
+                        let off = offset as usize;
+                        buf[off..off + body.len()].copy_from_slice(body);
+                        *filled += body.len();
+                        *filled == buf.len()
+                    } else {
+                        false
+                    }
+                };
+                if complete {
+                    {
+                        let mut st = req.state.lock();
+                        if let ReqState::RecvAssembly { buf, .. } =
+                            std::mem::replace(&mut *st, ReqState::Empty)
+                        {
+                            *st = ReqState::RecvReady(buf);
+                        }
+                    }
+                    // SAFETY: final fragment — consume the parked reference.
+                    let req = unsafe { take_req(cookie) };
+                    req.mark_done();
+                }
+            }
+        }
+    }
+
+    /// Push fragments of pending emulated-put streams into the NIC until
+    /// resources run out. Returns the number of fragments injected.
+    fn issue_frags(&self) -> usize {
+        let inner = &self.inner;
+        let mut q = inner.pending_frags.lock();
+        let chunk = inner.cfg.packet_payload - 16;
+        let mut issued = 0;
+        while let Some(f) = q.front_mut() {
+            let total = f.payload.len();
+            while f.next_offset < total {
+                let Some(mut packet) = inner.pool.alloc() else {
+                    return issued;
+                };
+                let end = (f.next_offset + chunk).min(total);
+                let len = end - f.next_offset;
+                packet[..16].copy_from_slice(&protocol::encode_frag_header(
+                    f.recv_cookie,
+                    f.next_offset as u64,
+                ));
+                packet[16..16 + len].copy_from_slice(&f.payload[f.next_offset..end]);
+                let header = protocol::pack(PacketType::Frag, f.tag, total as u64);
+                match self.send_packet(f.dst, header, packet, 16 + len) {
+                    Ok(()) => {
+                        f.next_offset = end;
+                        issued += 1;
+                    }
+                    Err(e) if e.is_retryable() => return issued,
+                    Err(_) => {
+                        f.send_req.mark_error();
+                        inner.failed.store(true, Ordering::Release);
+                        q.pop_front();
+                        return issued;
+                    }
+                }
+            }
+            // Whole payload copied into the fabric: the send is complete
+            // from the user's perspective.
+            f.send_req.mark_done();
+            q.pop_front();
+        }
+        issued
+    }
+
+    /// Try to inject a rendezvous put. Returns false on back-pressure (the
+    /// caller keeps the `PendingPut` for retry).
+    fn issue_put(&self, p: &PendingPut) -> bool {
+        let ctx = completion_cookie(Completion::PutSent(Arc::clone(&p.send_req)));
+        match self
+            .inner
+            .ep
+            .try_put(p.dst, p.key, 0, &p.payload, ctx, Some(p.imm))
+        {
+            Ok(()) => true,
+            Err(SendError::Backpressure) => {
+                // SAFETY: rejected synchronously; cookie never handed off.
+                let _ = unsafe { take_completion(ctx) };
+                false
+            }
+            Err(_) => {
+                // SAFETY: as above.
+                if let Completion::PutSent(req) = unsafe { take_completion(ctx) } {
+                    req.mark_error();
+                }
+                self.inner.failed.store(true, Ordering::Release);
+                true // fatal: don't retry
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("rank", &self.rank())
+            .field("failed", &self.is_failed())
+            .finish()
+    }
+}

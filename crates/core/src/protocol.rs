@@ -1,0 +1,146 @@
+//! Wire protocol: packet types and header packing.
+//!
+//! LCI needs only three two-sided packet types (plus the RDMA put itself):
+//!
+//! * `EGR` — eager data packet, used below the rendezvous threshold.
+//! * `RTS` — ready-to-send, opens a rendezvous; carries the sender's request
+//!   cookie.
+//! * `RTR` — ready-to-receive, answers an RTS; carries the sender's cookie
+//!   back, the receiver's registered region key, and the receiver's request
+//!   cookie (which the sender echoes as the put's immediate value).
+//!
+//! There is deliberately **no** tag matching or ordering in this layer — the
+//! header's tag field is transported verbatim for the upper layer to use.
+//!
+//! Header layout (64 bits): `[ty:3][tag:25][size:36]`.
+
+/// Maximum representable tag (25 bits).
+pub const MAX_TAG: u32 = (1 << 25) - 1;
+
+/// Maximum representable message size (36 bits).
+pub const MAX_SIZE: u64 = (1 << 36) - 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PacketType {
+    Egr = 0,
+    Rts = 1,
+    Rtr = 2,
+    /// Rendezvous data fragment (emulated-put mode, psm2-style).
+    Frag = 3,
+}
+
+impl PacketType {
+    fn from_bits(b: u64) -> Option<PacketType> {
+        match b {
+            0 => Some(PacketType::Egr),
+            1 => Some(PacketType::Rts),
+            2 => Some(PacketType::Rtr),
+            3 => Some(PacketType::Frag),
+            _ => None,
+        }
+    }
+}
+
+/// Fragment payload prefix: receiver request cookie + byte offset.
+pub(crate) fn encode_frag_header(recv_cookie: u64, offset: u64) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&recv_cookie.to_le_bytes());
+    out[8..].copy_from_slice(&offset.to_le_bytes());
+    out
+}
+
+pub(crate) fn decode_frag_header(payload: &[u8]) -> Option<(u64, u64)> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let c = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let o = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    Some((c, o))
+}
+
+pub(crate) fn pack(ty: PacketType, tag: u32, size: u64) -> u64 {
+    debug_assert!(tag <= MAX_TAG, "tag out of range");
+    debug_assert!(size <= MAX_SIZE, "size out of range");
+    ((ty as u64) << 61) | ((tag as u64) << 36) | size
+}
+
+pub(crate) fn unpack(header: u64) -> Option<(PacketType, u32, u64)> {
+    let ty = PacketType::from_bits(header >> 61)?;
+    let tag = ((header >> 36) & MAX_TAG as u64) as u32;
+    let size = header & MAX_SIZE;
+    Some((ty, tag, size))
+}
+
+/// RTS payload: 8-byte little-endian sender request cookie.
+pub(crate) fn encode_rts(send_cookie: u64) -> [u8; 8] {
+    send_cookie.to_le_bytes()
+}
+
+pub(crate) fn decode_rts(payload: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(payload.get(..8)?.try_into().ok()?))
+}
+
+/// RTR payload: sender cookie, memory-region key, receiver cookie.
+pub(crate) fn encode_rtr(send_cookie: u64, mr_key: u64, recv_cookie: u64) -> [u8; 24] {
+    let mut out = [0u8; 24];
+    out[..8].copy_from_slice(&send_cookie.to_le_bytes());
+    out[8..16].copy_from_slice(&mr_key.to_le_bytes());
+    out[16..].copy_from_slice(&recv_cookie.to_le_bytes());
+    out
+}
+
+pub(crate) fn decode_rtr(payload: &[u8]) -> Option<(u64, u64, u64)> {
+    if payload.len() < 24 {
+        return None;
+    }
+    let a = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let b = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let c = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    Some((a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (ty, tag, size) in [
+            (PacketType::Egr, 0u32, 0u64),
+            (PacketType::Rts, MAX_TAG, MAX_SIZE),
+            (PacketType::Rtr, 12345, 1 << 20),
+        ] {
+            let h = pack(ty, tag, size);
+            let (t2, g2, s2) = unpack(h).unwrap();
+            assert_eq!(t2, ty);
+            assert_eq!(g2, tag);
+            assert_eq!(s2, size);
+        }
+    }
+
+    #[test]
+    fn bad_type_bits_rejected() {
+        assert!(unpack(7u64 << 61).is_none());
+    }
+
+    #[test]
+    fn frag_header_roundtrip() {
+        let enc = encode_frag_header(0xAA55, 123_456);
+        assert_eq!(decode_frag_header(&enc), Some((0xAA55, 123_456)));
+        assert_eq!(decode_frag_header(&enc[..15]), None);
+    }
+
+    #[test]
+    fn rts_roundtrip() {
+        let enc = encode_rts(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(decode_rts(&enc), Some(0xDEAD_BEEF_CAFE_F00D));
+        assert_eq!(decode_rts(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn rtr_roundtrip() {
+        let enc = encode_rtr(1, 2, 3);
+        assert_eq!(decode_rtr(&enc), Some((1, 2, 3)));
+        assert_eq!(decode_rtr(&enc[..23]), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! Request handles: communication completion by a single boolean flag.
+//!
+//! The paper contrasts this with `MPI_TEST`/`MPI_WAIT`: once an LCI
+//! operation is initiated, its progress is implicit (driven by the
+//! communication server) and the user merely re-reads a status flag — no
+//! function call, no network poll on the critical path.
+
+use bytes::Bytes;
+use lci_fabric::MemRegion;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+const PENDING: u8 = 0;
+const DONE: u8 = 1;
+const ERROR: u8 = 2;
+
+pub(crate) enum ReqState {
+    /// Nothing held (eager send, or consumed).
+    Empty,
+    /// Rendezvous send: the payload kept alive until the RDMA put completes.
+    SendPayload(Bytes),
+    /// Rendezvous receive: the registered landing region.
+    RecvMr(MemRegion),
+    /// Emulated-put receive: fragments assemble here.
+    RecvAssembly {
+        /// The landing buffer.
+        buf: Vec<u8>,
+        /// Bytes received so far.
+        filled: usize,
+    },
+    /// Completed receive: data ready for the user.
+    RecvReady(Vec<u8>),
+}
+
+pub(crate) struct ReqInner {
+    status: AtomicU8,
+    /// Peer rank: destination for sends, source for receives.
+    pub(crate) peer: u16,
+    pub(crate) tag: u32,
+    pub(crate) size: usize,
+    pub(crate) state: Mutex<ReqState>,
+}
+
+impl ReqInner {
+    pub(crate) fn new(peer: u16, tag: u32, size: usize, state: ReqState) -> Arc<Self> {
+        Arc::new(ReqInner {
+            status: AtomicU8::new(PENDING),
+            peer,
+            tag,
+            size,
+            state: Mutex::new(state),
+        })
+    }
+
+    pub(crate) fn mark_done(&self) {
+        self.status.store(DONE, Ordering::Release);
+    }
+
+    pub(crate) fn mark_error(&self) {
+        self.status.store(ERROR, Ordering::Release);
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.status.load(Ordering::Acquire) == DONE
+    }
+
+    pub(crate) fn is_error(&self) -> bool {
+        self.status.load(Ordering::Acquire) == ERROR
+    }
+}
+
+/// Handle to an initiated send. Completion is observed by re-reading
+/// [`SendRequest::is_done`]; there is no completion *call*.
+pub struct SendRequest {
+    pub(crate) inner: Arc<ReqInner>,
+}
+
+impl SendRequest {
+    /// Has the message left the sender safely (eager) or has the rendezvous
+    /// put completed?
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Did the operation fail fatally (endpoint failed)?
+    pub fn is_error(&self) -> bool {
+        self.inner.is_error()
+    }
+
+    /// Destination rank.
+    pub fn dst(&self) -> u16 {
+        self.inner.peer
+    }
+
+    /// Message tag.
+    pub fn tag(&self) -> u32 {
+        self.inner.tag
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.size == 0
+    }
+}
+
+impl std::fmt::Debug for SendRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendRequest")
+            .field("dst", &self.dst())
+            .field("tag", &self.tag())
+            .field("len", &self.len())
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// Handle to a receive dequeued via `RECV-DEQ`.
+///
+/// Eager receives come back already complete; rendezvous receives complete
+/// when the sender's RDMA put lands. Either way the data is claimed with
+/// [`RecvRequest::take_data`].
+pub struct RecvRequest {
+    pub(crate) inner: Arc<ReqInner>,
+}
+
+impl RecvRequest {
+    /// Is the payload ready to take?
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Did the operation fail fatally?
+    pub fn is_error(&self) -> bool {
+        self.inner.is_error()
+    }
+
+    /// Source rank.
+    pub fn src(&self) -> u16 {
+        self.inner.peer
+    }
+
+    /// Message tag.
+    pub fn tag(&self) -> u32 {
+        self.inner.tag
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.size == 0
+    }
+
+    /// Claim the payload. Returns `None` if the request is not yet done or
+    /// the data was already taken.
+    pub fn take_data(&self) -> Option<Vec<u8>> {
+        if !self.is_done() {
+            return None;
+        }
+        let mut st = self.inner.state.lock();
+        match std::mem::replace(&mut *st, ReqState::Empty) {
+            ReqState::RecvReady(v) => Some(v),
+            other => {
+                *st = other;
+                None
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RecvRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvRequest")
+            .field("src", &self.src())
+            .field("tag", &self.tag())
+            .field("len", &self.len())
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_transitions() {
+        let r = ReqInner::new(3, 9, 100, ReqState::Empty);
+        assert!(!r.is_done());
+        assert!(!r.is_error());
+        r.mark_done();
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn take_data_only_when_done() {
+        let inner = ReqInner::new(1, 2, 3, ReqState::RecvReady(vec![1, 2, 3]));
+        let req = RecvRequest {
+            inner: Arc::clone(&inner),
+        };
+        assert!(req.take_data().is_none(), "pending request yields no data");
+        inner.mark_done();
+        assert_eq!(req.take_data(), Some(vec![1, 2, 3]));
+        assert!(req.take_data().is_none(), "data can only be taken once");
+    }
+
+    #[test]
+    fn accessors() {
+        let inner = ReqInner::new(7, 42, 11, ReqState::Empty);
+        inner.mark_done();
+        let s = SendRequest {
+            inner: Arc::clone(&inner),
+        };
+        assert_eq!(s.dst(), 7);
+        assert_eq!(s.tag(), 42);
+        assert_eq!(s.len(), 11);
+        assert!(!s.is_empty());
+        assert!(s.is_done());
+    }
+}

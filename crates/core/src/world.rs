@@ -1,0 +1,82 @@
+//! Convenience bootstrap: a fabric plus one device (and optionally one
+//! communication server) per simulated host.
+
+use crate::config::LciConfig;
+use crate::device::Device;
+use crate::server::CommServer;
+use lci_fabric::{Fabric, FabricConfig};
+
+/// A fully wired simulated cluster running LCI on every host.
+pub struct LciWorld {
+    fabric: Fabric,
+    devices: Vec<Device>,
+    servers: Vec<CommServer>,
+}
+
+impl LciWorld {
+    /// Build a world with a communication server per host.
+    pub fn new(fabric_cfg: FabricConfig, lci_cfg: LciConfig) -> LciWorld {
+        let mut w = LciWorld::without_servers(fabric_cfg, lci_cfg);
+        w.servers = w.devices.iter().map(|d| CommServer::spawn(d.clone())).collect();
+        w
+    }
+
+    /// Build a world where the caller drives [`Device::progress`] manually
+    /// (used by latency microbenchmarks that measure the progress path).
+    pub fn without_servers(fabric_cfg: FabricConfig, lci_cfg: LciConfig) -> LciWorld {
+        let fabric = Fabric::new(fabric_cfg);
+        let devices = (0..fabric.num_hosts())
+            .map(|h| Device::new(fabric.endpoint(h), lci_cfg.clone()))
+            .collect();
+        LciWorld {
+            fabric,
+            devices,
+            servers: Vec::new(),
+        }
+    }
+
+    /// The device for rank `host`.
+    pub fn device(&self, host: usize) -> Device {
+        self.devices[host].clone()
+    }
+
+    /// All devices, rank order.
+    pub fn devices(&self) -> Vec<Device> {
+        self.devices.clone()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Stop the communication servers (also happens on drop).
+    pub fn shutdown(&mut self) {
+        self.servers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_n_devices() {
+        let w = LciWorld::new(FabricConfig::test(3), LciConfig::for_hosts(3));
+        assert_eq!(w.num_hosts(), 3);
+        assert_eq!(w.device(2).rank(), 2);
+        assert_eq!(w.devices().len(), 3);
+    }
+
+    #[test]
+    fn manual_world_has_no_servers() {
+        let mut w = LciWorld::without_servers(FabricConfig::test(2), LciConfig::default());
+        assert_eq!(w.num_hosts(), 2);
+        w.shutdown(); // no-op
+    }
+}

@@ -1,0 +1,190 @@
+//! Fabric and wire-model configuration.
+
+/// Timing model for the simulated wire.
+///
+/// Delays are expressed in nanoseconds of *simulated* time; the fabric maps
+/// simulated time onto wall-clock time 1:1 (optionally scaled via
+/// [`FabricConfig::time_scale`]), so a 2 µs wire really takes about 2 µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Fixed per-message latency (propagation + switch + NIC pipeline).
+    pub base_latency_ns: u64,
+    /// Sender-side serialization cost per payload byte. Messages from one
+    /// host share its NIC, so this also bounds the injection rate.
+    pub ns_per_byte: f64,
+    /// Uniform random jitter added to each delivery, `[0, jitter_ns)`.
+    pub jitter_ns: u64,
+    /// Extra fixed cost for RDMA puts (address translation, key check).
+    pub put_extra_ns: u64,
+}
+
+impl WireModel {
+    /// An Omni-Path-like profile (Stampede2 in the paper): ~1 µs latency,
+    /// ~12.5 GB/s per-host injection bandwidth.
+    pub fn opa() -> Self {
+        WireModel {
+            base_latency_ns: 1_000,
+            ns_per_byte: 0.08,
+            jitter_ns: 200,
+            put_extra_ns: 300,
+        }
+    }
+
+    /// A Mellanox FDR InfiniBand-like profile (Stampede1 in the paper):
+    /// slightly higher latency, ~6.8 GB/s.
+    pub fn ib_fdr() -> Self {
+        WireModel {
+            base_latency_ns: 1_300,
+            ns_per_byte: 0.15,
+            jitter_ns: 250,
+            put_extra_ns: 250,
+        }
+    }
+
+    /// Zero-delay wire for functional tests: messages are delivered as fast
+    /// as the wire thread can move them.
+    pub fn instant() -> Self {
+        WireModel {
+            base_latency_ns: 0,
+            ns_per_byte: 0.0,
+            jitter_ns: 0,
+            put_extra_ns: 0,
+        }
+    }
+}
+
+/// Configuration for a [`crate::Fabric`].
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of simulated hosts.
+    pub num_hosts: usize,
+    /// Wire timing model.
+    pub wire: WireModel,
+    /// Maximum number of in-flight injected operations per endpoint. When
+    /// full, `try_send`/`try_put` fail with `SendError::Backpressure`.
+    pub injection_depth: usize,
+    /// Number of pre-posted receive buffers per endpoint. An eager message
+    /// arriving when all are consumed triggers a receiver-not-ready retry.
+    pub rx_buffers: usize,
+    /// Maximum payload of a single eager (`try_send`) message.
+    pub max_payload: usize,
+    /// How many receiver-not-ready retries a message survives before the
+    /// *sending* endpoint is failed (models the unrecoverable network errors
+    /// the paper observed with MPI). `u32::MAX` retries forever.
+    pub rnr_retry_limit: u32,
+    /// Delay before a receiver-not-ready message is retried.
+    pub rnr_delay_ns: u64,
+    /// Multiplier applied to all simulated delays (1.0 = real time; 0.0
+    /// turns every wire into `WireModel::instant`).
+    pub time_scale: f64,
+    /// Seed for delivery jitter.
+    pub seed: u64,
+}
+
+impl FabricConfig {
+    /// A functional-test configuration: instant wire, generous resources.
+    pub fn test(num_hosts: usize) -> Self {
+        FabricConfig {
+            num_hosts,
+            wire: WireModel::instant(),
+            injection_depth: 4096,
+            rx_buffers: 1 << 16,
+            max_payload: 1 << 16,
+            rnr_retry_limit: u32::MAX,
+            rnr_delay_ns: 1_000,
+            time_scale: 0.0,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A Stampede2-like configuration used by the benchmark harness.
+    pub fn stampede2(num_hosts: usize) -> Self {
+        FabricConfig {
+            num_hosts,
+            wire: WireModel::opa(),
+            injection_depth: 256,
+            rx_buffers: 1024,
+            max_payload: 1 << 16,
+            rnr_retry_limit: u32::MAX,
+            rnr_delay_ns: 4_000,
+            time_scale: 1.0,
+            seed: 0x57A2,
+        }
+    }
+
+    /// A Stampede1-like (InfiniBand FDR) configuration.
+    pub fn stampede1(num_hosts: usize) -> Self {
+        FabricConfig {
+            num_hosts,
+            wire: WireModel::ib_fdr(),
+            injection_depth: 192,
+            rx_buffers: 768,
+            max_payload: 1 << 16,
+            rnr_retry_limit: u32::MAX,
+            rnr_delay_ns: 5_000,
+            time_scale: 1.0,
+            seed: 0x57A1,
+        }
+    }
+
+    /// Builder-style override of the wire model.
+    pub fn with_wire(mut self, wire: WireModel) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Builder-style override of the injection depth.
+    pub fn with_injection_depth(mut self, depth: usize) -> Self {
+        self.injection_depth = depth;
+        self
+    }
+
+    /// Builder-style override of the receive-buffer count.
+    pub fn with_rx_buffers(mut self, n: usize) -> Self {
+        self.rx_buffers = n;
+        self
+    }
+
+    /// Builder-style override of the RNR retry limit.
+    pub fn with_rnr_retry_limit(mut self, n: u32) -> Self {
+        self.rnr_retry_limit = n;
+        self
+    }
+
+    /// Builder-style override of the time scale.
+    pub fn with_time_scale(mut self, s: f64) -> Self {
+        self.time_scale = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let s2 = FabricConfig::stampede2(8);
+        assert_eq!(s2.num_hosts, 8);
+        assert!(s2.wire.base_latency_ns > 0);
+        let s1 = FabricConfig::stampede1(4);
+        assert!(s1.wire.ns_per_byte > s2.wire.ns_per_byte, "FDR is slower than OPA");
+        let t = FabricConfig::test(2);
+        assert_eq!(t.wire, WireModel::instant());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = FabricConfig::test(2)
+            .with_injection_depth(7)
+            .with_rx_buffers(9)
+            .with_rnr_retry_limit(3)
+            .with_time_scale(2.0)
+            .with_wire(WireModel::opa());
+        assert_eq!(c.injection_depth, 7);
+        assert_eq!(c.rx_buffers, 9);
+        assert_eq!(c.rnr_retry_limit, 3);
+        assert_eq!(c.time_scale, 2.0);
+        assert_eq!(c.wire, WireModel::opa());
+    }
+}

@@ -1,0 +1,362 @@
+//! Host endpoints: the injection and completion interface of the simulated NIC.
+
+use crate::error::SendError;
+use crate::mr::{MemRegion, MrInner, MrKey};
+use crate::stats::{EndpointStats, StatsSnapshot};
+use crate::wire::{FabricShared, WireOp};
+use crate::HostId;
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why a fatal [`Event::Error`] was delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FatalKind {
+    /// A message exhausted its receiver-not-ready retry budget; the sending
+    /// endpoint has been failed. This is the simulated analogue of the
+    /// unrecoverable resource-exhaustion errors the paper saw with MPI.
+    RnrExceeded,
+    /// An RDMA put targeted a missing or undersized memory region.
+    BadMr,
+}
+
+/// A completion-queue event, retrieved with [`Endpoint::poll`].
+#[derive(Debug)]
+pub enum Event {
+    /// An eager message arrived.
+    Recv {
+        /// Sending rank.
+        src: HostId,
+        /// The 64-bit user header supplied at `try_send`.
+        header: u64,
+        /// Payload. Dropping it returns the receive buffer credit.
+        data: PacketBuf,
+    },
+    /// A previously injected `try_send` has left the NIC and been delivered.
+    SendDone {
+        /// The user context supplied at injection.
+        ctx: u64,
+    },
+    /// A previously injected `try_put` has been written to the target region.
+    PutDone {
+        /// The user context supplied at injection.
+        ctx: u64,
+    },
+    /// A peer's put into one of our regions completed with an immediate value.
+    PutArrived {
+        /// The rank that performed the put.
+        src: HostId,
+        /// The immediate value the peer attached.
+        imm: u64,
+        /// Number of bytes written.
+        len: u32,
+    },
+    /// A fatal error attributed to an operation this endpoint injected.
+    Error {
+        /// What went wrong.
+        kind: FatalKind,
+        /// The user context of the failed operation.
+        ctx: u64,
+    },
+}
+
+/// Returns one receive-buffer credit to the owning endpoint when dropped.
+pub(crate) struct CreditGuard {
+    ep: Arc<EndpointShared>,
+}
+
+impl CreditGuard {
+    pub(crate) fn new(ep: Arc<EndpointShared>) -> Self {
+        CreditGuard { ep }
+    }
+}
+
+impl Drop for CreditGuard {
+    fn drop(&mut self) {
+        self.ep.rx_credits.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// An owned receive buffer delivered by the fabric.
+///
+/// Holding a `PacketBuf` pins one of the destination endpoint's pre-posted
+/// receive buffers; dropping it (or consuming it with
+/// [`PacketBuf::into_vec`]) makes the buffer available for new arrivals.
+/// A runtime that hoards `PacketBuf`s will throttle its senders — which is
+/// precisely the flow-control behaviour the LCI packet pool relies on.
+pub struct PacketBuf {
+    data: Vec<u8>,
+    _credit: Option<CreditGuard>,
+}
+
+impl PacketBuf {
+    pub(crate) fn new(data: Vec<u8>, credit: CreditGuard) -> Self {
+        PacketBuf {
+            data,
+            _credit: Some(credit),
+        }
+    }
+
+    /// Construct a loose buffer not backed by a credit (for tests).
+    pub fn detached(data: Vec<u8>) -> Self {
+        PacketBuf {
+            data,
+            _credit: None,
+        }
+    }
+
+    /// Consume the packet, returning its payload and releasing the credit.
+    pub fn into_vec(self) -> Vec<u8> {
+        let PacketBuf { data, _credit } = self;
+        data
+    }
+}
+
+impl Deref for PacketBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for PacketBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PacketBuf({} bytes)", self.data.len())
+    }
+}
+
+pub(crate) struct EndpointShared {
+    pub(crate) host: HostId,
+    pub(crate) cq: SegQueue<Event>,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) rx_credits: AtomicI64,
+    pub(crate) mrs: Mutex<HashMap<u64, Arc<MrInner>>>,
+    pub(crate) next_mr: AtomicU64,
+    pub(crate) failed: AtomicBool,
+    pub(crate) stats: EndpointStats,
+}
+
+impl EndpointShared {
+    pub(crate) fn new(host: HostId, rx_buffers: usize) -> Self {
+        EndpointShared {
+            host,
+            cq: SegQueue::new(),
+            inflight: AtomicUsize::new(0),
+            rx_credits: AtomicI64::new(rx_buffers as i64),
+            mrs: Mutex::new(HashMap::new()),
+            next_mr: AtomicU64::new(1),
+            failed: AtomicBool::new(false),
+            stats: EndpointStats::default(),
+        }
+    }
+}
+
+/// One simulated host's NIC interface. Cheap to clone; all clones share the
+/// same completion queue and resources, so any thread on the host may inject
+/// or poll (as with a real NIC's thread-safe verbs context).
+#[derive(Clone)]
+pub struct Endpoint {
+    pub(crate) shared: Arc<EndpointShared>,
+    pub(crate) fabric: Arc<FabricShared>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn host(&self) -> HostId {
+        self.shared.host
+    }
+
+    /// Number of hosts in the fabric.
+    pub fn num_hosts(&self) -> usize {
+        self.fabric.endpoints.len()
+    }
+
+    /// Has this endpoint been failed by the fabric?
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::Acquire)
+    }
+
+    /// The configuration of the fabric this endpoint belongs to.
+    pub fn config(&self) -> &crate::FabricConfig {
+        &self.fabric.config
+    }
+
+    /// Fault injection: fail this endpoint immediately, as if its NIC died.
+    /// Subsequent injections return [`SendError::Closed`]; peers' traffic to
+    /// this host piles up in its receive buffers (and eventually triggers
+    /// receiver-not-ready handling at the senders).
+    pub fn inject_failure(&self) {
+        self.shared.failed.store(true, Ordering::Release);
+    }
+
+    fn admit(&self, dst: HostId) -> Result<(), SendError> {
+        if self.fabric.closed.load(Ordering::Acquire) || self.is_failed() {
+            return Err(SendError::Closed);
+        }
+        if (dst as usize) >= self.fabric.endpoints.len() {
+            return Err(SendError::BadRank);
+        }
+        let depth = self.fabric.config.injection_depth;
+        let mut cur = self.shared.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= depth {
+                self.shared.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+                return Err(SendError::Backpressure);
+            }
+            match self.shared.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    fn release_token(&self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Inject an eager two-sided message (the `lc_send` substrate).
+    ///
+    /// Non-blocking: the payload is copied out at injection time (as an eager
+    /// protocol does) and `ctx` comes back in a [`Event::SendDone`] once the
+    /// message has been delivered. Fails with [`SendError::Backpressure`]
+    /// when the injection queue is full.
+    pub fn try_send(
+        &self,
+        dst: HostId,
+        header: u64,
+        data: &[u8],
+        ctx: u64,
+    ) -> Result<(), SendError> {
+        if data.len() > self.fabric.config.max_payload {
+            return Err(SendError::TooLarge);
+        }
+        self.admit(dst)?;
+        let op = WireOp::Send {
+            src: self.shared.host,
+            dst,
+            header,
+            data: data.to_vec(),
+            ctx,
+            retries: 0,
+        };
+        if self.fabric.inj_tx.send(op).is_err() {
+            self.release_token();
+            return Err(SendError::Closed);
+        }
+        self.shared.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .send_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Inject an RDMA write into a peer's registered region (the `lc_put`
+    /// substrate).
+    ///
+    /// `ctx` comes back in an [`Event::PutDone`] on this endpoint; if `imm`
+    /// is `Some`, the peer additionally observes an [`Event::PutArrived`]
+    /// carrying the immediate value — the mechanism LCI's rendezvous protocol
+    /// uses to complete the receiver's request.
+    pub fn try_put(
+        &self,
+        dst: HostId,
+        key: MrKey,
+        offset: usize,
+        data: &[u8],
+        ctx: u64,
+        imm: Option<u64>,
+    ) -> Result<(), SendError> {
+        self.admit(dst)?;
+        let op = WireOp::Put {
+            src: self.shared.host,
+            dst,
+            key,
+            offset,
+            data: data.to_vec(),
+            ctx,
+            imm,
+        };
+        if self.fabric.inj_tx.send(op).is_err() {
+            self.release_token();
+            return Err(SendError::Closed);
+        }
+        self.shared.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .put_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pop one completion event, if any (the `lc_progress` substrate).
+    pub fn poll(&self) -> Option<Event> {
+        self.shared.cq.pop()
+    }
+
+    /// Register a zeroed memory region of `len` bytes, making it a valid
+    /// target for peers' puts.
+    pub fn register_mr(&self, len: usize) -> MemRegion {
+        let key = MrKey(self.shared.next_mr.fetch_add(1, Ordering::Relaxed));
+        let inner = Arc::new(MrInner {
+            data: Mutex::new(vec![0u8; len].into_boxed_slice()),
+        });
+        self.shared.mrs.lock().insert(key.0, Arc::clone(&inner));
+        MemRegion { key, inner }
+    }
+
+    /// Remove a region from the registration table. Puts that arrive
+    /// afterwards fail with a [`FatalKind::BadMr`] error at the initiator.
+    pub fn deregister_mr(&self, key: MrKey) {
+        self.shared.mrs.lock().remove(&key.0);
+    }
+
+    /// Number of currently registered regions (diagnostics).
+    pub fn registered_mrs(&self) -> usize {
+        self.shared.mrs.lock().len()
+    }
+
+    /// Snapshot of this endpoint's traffic counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Current number of in-flight injected operations.
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Currently available receive-buffer credits.
+    pub fn rx_credits(&self) -> i64 {
+        self.shared.rx_credits.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("host", &self.shared.host)
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_buf_detached_derefs() {
+        let p = PacketBuf::detached(vec![1, 2, 3]);
+        assert_eq!(&*p, &[1, 2, 3]);
+        assert_eq!(p.into_vec(), vec![1, 2, 3]);
+    }
+}

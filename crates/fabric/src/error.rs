@@ -1,0 +1,47 @@
+//! Error types for fabric operations.
+
+use std::fmt;
+
+/// Failure of a non-blocking injection ([`crate::Endpoint::try_send`] /
+/// [`crate::Endpoint::try_put`]).
+///
+/// `Backpressure` is the *retryable* condition at the heart of LCI's flow
+/// control: the caller is expected to back off and retry, exactly as the
+/// paper's `SEND-ENQ` returns `NULL` when no resources are available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The endpoint's injection queue is full. Retry later.
+    Backpressure,
+    /// The payload exceeds the fabric's `max_payload` for eager sends.
+    TooLarge,
+    /// The destination rank does not exist in this fabric.
+    BadRank,
+    /// The endpoint has been failed by the fabric (e.g. receiver-not-ready
+    /// retry limit exceeded — the simulated analogue of the unrecoverable
+    /// network errors the paper saw crash MPI runs).
+    Closed,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Backpressure => write!(f, "injection queue full (retry later)"),
+            SendError::TooLarge => write!(f, "payload exceeds max eager size"),
+            SendError::BadRank => write!(f, "destination rank out of range"),
+            SendError::Closed => write!(f, "endpoint failed / fabric shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SendError::Backpressure.to_string().contains("retry"));
+        assert!(SendError::Closed.to_string().contains("failed"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Registered memory regions — the targets of RDMA puts.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Opaque key identifying a registered memory region on a particular host.
+///
+/// Keys are communicated to peers out of band (inside control messages such
+/// as LCI's `RTR` packet), exactly like `rkey`s in ibverbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MrKey(pub u64);
+
+pub(crate) struct MrInner {
+    pub(crate) data: Mutex<Box<[u8]>>,
+}
+
+/// A registered memory region owned by one host.
+///
+/// The region stays registered (reachable by peers' puts) until
+/// [`crate::Endpoint::deregister_mr`] is called or the owning handle plus the
+/// endpoint's table entry are both dropped.
+pub struct MemRegion {
+    pub(crate) key: MrKey,
+    pub(crate) inner: Arc<MrInner>,
+}
+
+impl MemRegion {
+    /// The key peers must use to target this region.
+    pub fn key(&self) -> MrKey {
+        self.key
+    }
+
+    /// Length of the region in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.data.lock().len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the entire region out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.data.lock().to_vec()
+    }
+
+    /// Copy `buf.len()` bytes starting at `offset` out of the region.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_at(&self, offset: usize, buf: &mut [u8]) {
+        let data = self.inner.data.lock();
+        buf.copy_from_slice(&data[offset..offset + buf.len()]);
+    }
+
+    /// Write bytes into the region locally (host-side initialization).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn write_at(&self, offset: usize, bytes: &[u8]) {
+        let mut data = self.inner.data.lock();
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Take the contents, replacing the region with an empty buffer.
+    ///
+    /// Useful on the receive side of a rendezvous: after the put has landed
+    /// the receiver takes the bytes without a copy. Peers putting into the
+    /// region afterwards will hit a bounds error event.
+    pub fn take(&self) -> Vec<u8> {
+        let mut data = self.inner.data.lock();
+        std::mem::take(&mut *data).into_vec()
+    }
+}
+
+impl std::fmt::Debug for MemRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemRegion")
+            .field("key", &self.key)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize) -> MemRegion {
+        MemRegion {
+            key: MrKey(7),
+            inner: Arc::new(MrInner {
+                data: Mutex::new(vec![0u8; len].into_boxed_slice()),
+            }),
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let r = region(16);
+        r.write_at(4, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        r.read_at(4, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert_eq!(r.len(), 16);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn take_empties_region() {
+        let r = region(8);
+        r.write_at(0, &[9; 8]);
+        let v = r.take();
+        assert_eq!(v, vec![9; 8]);
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let r = region(4);
+        r.write_at(2, &[0; 4]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-endpoint traffic statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct EndpointStats {
+    pub sends: AtomicU64,
+    pub send_bytes: AtomicU64,
+    pub puts: AtomicU64,
+    pub put_bytes: AtomicU64,
+    pub recvs: AtomicU64,
+    pub rnr_retries: AtomicU64,
+    pub backpressure: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+impl EndpointStats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            put_bytes: self.put_bytes.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            rnr_retries: self.rnr_retries.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of an endpoint's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Eager messages successfully injected.
+    pub sends: u64,
+    /// Payload bytes across eager messages.
+    pub send_bytes: u64,
+    /// RDMA puts successfully injected.
+    pub puts: u64,
+    /// Payload bytes across puts.
+    pub put_bytes: u64,
+    /// Eager messages delivered to this endpoint.
+    pub recvs: u64,
+    /// Receiver-not-ready retries suffered by messages *sent by* this endpoint.
+    pub rnr_retries: u64,
+    /// Injection attempts rejected with `Backpressure`.
+    pub backpressure: u64,
+    /// Fatal delivery errors attributed to this endpoint.
+    pub errors: u64,
+}
+
+impl StatsSnapshot {
+    /// Total messages injected (sends + puts).
+    pub fn messages(&self) -> u64 {
+        self.sends + self.puts
+    }
+
+    /// Total payload bytes injected.
+    pub fn bytes(&self) -> u64 {
+        self.send_bytes + self.put_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = EndpointStats::default();
+        s.sends.store(3, Ordering::Relaxed);
+        s.send_bytes.store(300, Ordering::Relaxed);
+        s.puts.store(2, Ordering::Relaxed);
+        s.put_bytes.store(2000, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages(), 5);
+        assert_eq!(snap.bytes(), 2300);
+    }
+}

@@ -1,0 +1,426 @@
+//! The wire thread: schedules and delivers injected operations.
+
+use crate::config::FabricConfig;
+use crate::endpoint::{CreditGuard, Endpoint, EndpointShared, Event, FatalKind, PacketBuf};
+use crate::mr::MrKey;
+use crate::HostId;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub(crate) enum WireOp {
+    Send {
+        src: HostId,
+        dst: HostId,
+        header: u64,
+        data: Vec<u8>,
+        ctx: u64,
+        retries: u32,
+    },
+    Put {
+        src: HostId,
+        dst: HostId,
+        key: MrKey,
+        offset: usize,
+        data: Vec<u8>,
+        ctx: u64,
+        imm: Option<u64>,
+    },
+    Shutdown,
+}
+
+pub(crate) struct FabricShared {
+    pub(crate) config: FabricConfig,
+    pub(crate) endpoints: Vec<Arc<EndpointShared>>,
+    pub(crate) inj_tx: Sender<WireOp>,
+    pub(crate) closed: AtomicBool,
+}
+
+/// A simulated cluster interconnect.
+///
+/// Construct one with [`Fabric::new`], hand an [`Endpoint`] to each simulated
+/// host, and drop the `Fabric` to stop the wire thread. Endpoints may outlive
+/// the fabric; their operations then fail with `SendError::Closed`.
+pub struct Fabric {
+    shared: Arc<FabricShared>,
+    wire: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Fabric {
+    /// Spin up a fabric with `config.num_hosts` endpoints and a wire thread.
+    pub fn new(config: FabricConfig) -> Fabric {
+        assert!(config.num_hosts > 0, "fabric needs at least one host");
+        assert!(
+            config.num_hosts <= HostId::MAX as usize + 1,
+            "too many hosts for HostId"
+        );
+        let (inj_tx, inj_rx) = unbounded();
+        let endpoints: Vec<Arc<EndpointShared>> = (0..config.num_hosts)
+            .map(|h| Arc::new(EndpointShared::new(h as HostId, config.rx_buffers)))
+            .collect();
+        let shared = Arc::new(FabricShared {
+            config,
+            endpoints,
+            inj_tx,
+            closed: AtomicBool::new(false),
+        });
+        let wire_shared = Arc::clone(&shared);
+        let wire = std::thread::Builder::new()
+            .name("lci-fabric-wire".into())
+            .spawn(move || WireThread::new(wire_shared, inj_rx).run())
+            .expect("spawn wire thread");
+        Fabric {
+            shared,
+            wire: Some(wire),
+        }
+    }
+
+    /// The endpoint for rank `host`.
+    ///
+    /// # Panics
+    /// Panics if `host` is out of range.
+    pub fn endpoint(&self, host: usize) -> Endpoint {
+        Endpoint {
+            shared: Arc::clone(&self.shared.endpoints[host]),
+            fabric: Arc::clone(&self.shared),
+        }
+    }
+
+    /// One endpoint per host, in rank order.
+    pub fn endpoints(&self) -> Vec<Endpoint> {
+        (0..self.num_hosts()).map(|h| self.endpoint(h)).collect()
+    }
+
+    /// Number of simulated hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.shared.endpoints.len()
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.shared.config
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        let _ = self.shared.inj_tx.send(WireOp::Shutdown);
+        if let Some(h) = self.wire.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    op: WireOp,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct WireThread {
+    shared: Arc<FabricShared>,
+    rx: Receiver<WireOp>,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    link_free: Vec<u64>,
+    start: Instant,
+    seq: u64,
+    rng: SmallRng,
+}
+
+impl WireThread {
+    fn new(shared: Arc<FabricShared>, rx: Receiver<WireOp>) -> Self {
+        let n = shared.endpoints.len();
+        let seed = shared.config.seed;
+        WireThread {
+            shared,
+            rx,
+            heap: BinaryHeap::new(),
+            link_free: vec![0; n],
+            start: Instant::now(),
+            seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn scaled(&self, ns: f64) -> u64 {
+        (ns * self.shared.config.time_scale) as u64
+    }
+
+    /// Compute the delivery time of a freshly injected operation, charging
+    /// the sender's NIC serialization (which bounds injection rate).
+    fn schedule(&mut self, op: WireOp) {
+        let (src, len, is_put) = match &op {
+            WireOp::Send { src, data, .. } => (*src as usize, data.len(), false),
+            WireOp::Put { src, data, .. } => (*src as usize, data.len(), true),
+            WireOp::Shutdown => unreachable!("shutdown handled by caller"),
+        };
+        let wire = &self.shared.config.wire;
+        let now = self.now_ns();
+        let start = now.max(self.link_free[src]);
+        let tx_cost = self.scaled(len as f64 * wire.ns_per_byte);
+        self.link_free[src] = start + tx_cost;
+        let jitter = if wire.jitter_ns > 0 {
+            self.rng.gen_range(0..wire.jitter_ns)
+        } else {
+            0
+        };
+        let extra = if is_put { wire.put_extra_ns } else { 0 };
+        let at = start
+            + tx_cost
+            + self.scaled((wire.base_latency_ns + jitter + extra) as f64);
+        self.push(at, op);
+    }
+
+    fn push(&mut self, at: u64, op: WireOp) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, op }));
+    }
+
+    fn run(mut self) {
+        loop {
+            // Pick up everything already injected.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(WireOp::Shutdown) => return,
+                    Ok(op) => self.schedule(op),
+                    Err(_) => break,
+                }
+            }
+
+            match self.heap.peek() {
+                Some(Reverse(head)) => {
+                    let now = self.now_ns();
+                    if head.at <= now {
+                        let Reverse(s) = self.heap.pop().expect("peeked");
+                        self.deliver(s.op);
+                    } else {
+                        let wait = head.at - now;
+                        if wait > 200_000 {
+                            // Far enough out: block on the channel so new
+                            // injections wake us immediately.
+                            let d = Duration::from_nanos(wait.min(1_000_000));
+                            match self.rx.recv_timeout(d) {
+                                Ok(WireOp::Shutdown) => return,
+                                Ok(op) => self.schedule(op),
+                                Err(RecvTimeoutError::Timeout) => {}
+                                Err(RecvTimeoutError::Disconnected) => return,
+                            }
+                        } else {
+                            // Sub-200µs waits: spin in short slices so we keep
+                            // microsecond delivery precision while still
+                            // noticing new injections.
+                            let slice_end = now + wait.min(5_000);
+                            while self.now_ns() < slice_end {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+                None => match self.rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(WireOp::Shutdown) => return,
+                    Ok(op) => self.schedule(op),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                },
+            }
+        }
+    }
+
+    fn deliver(&mut self, op: WireOp) {
+        match op {
+            WireOp::Send {
+                src,
+                dst,
+                header,
+                data,
+                ctx,
+                retries,
+            } => {
+                let d = Arc::clone(&self.shared.endpoints[dst as usize]);
+                let s = Arc::clone(&self.shared.endpoints[src as usize]);
+                // Consume a receive credit; only this thread decrements, so a
+                // check-then-sub is race-free against concurrent returns.
+                if d.rx_credits.load(Ordering::Acquire) > 0 {
+                    d.rx_credits.fetch_sub(1, Ordering::AcqRel);
+                    let guard = CreditGuard::new(Arc::clone(&d));
+                    d.stats.recvs.fetch_add(1, Ordering::Relaxed);
+                    d.cq.push(Event::Recv {
+                        src,
+                        header,
+                        data: PacketBuf::new(data, guard),
+                    });
+                    s.cq.push(Event::SendDone { ctx });
+                    s.inflight.fetch_sub(1, Ordering::AcqRel);
+                } else {
+                    // Receiver not ready.
+                    s.stats.rnr_retries.fetch_add(1, Ordering::Relaxed);
+                    if retries >= self.shared.config.rnr_retry_limit {
+                        s.failed.store(true, Ordering::Release);
+                        s.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        s.cq.push(Event::Error {
+                            kind: FatalKind::RnrExceeded,
+                            ctx,
+                        });
+                        s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    } else {
+                        let delay = self
+                            .scaled(self.shared.config.rnr_delay_ns as f64)
+                            .max(1_000);
+                        let at = self.now_ns() + delay;
+                        self.push(
+                            at,
+                            WireOp::Send {
+                                src,
+                                dst,
+                                header,
+                                data,
+                                ctx,
+                                retries: retries + 1,
+                            },
+                        );
+                    }
+                }
+            }
+            WireOp::Put {
+                src,
+                dst,
+                key,
+                offset,
+                data,
+                ctx,
+                imm,
+            } => {
+                let d = Arc::clone(&self.shared.endpoints[dst as usize]);
+                let s = Arc::clone(&self.shared.endpoints[src as usize]);
+                let mr = d.mrs.lock().get(&key.0).cloned();
+                let ok = match mr {
+                    Some(mr) => {
+                        let mut buf = mr.data.lock();
+                        if offset + data.len() <= buf.len() {
+                            buf[offset..offset + data.len()].copy_from_slice(&data);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                };
+                if ok {
+                    s.cq.push(Event::PutDone { ctx });
+                    if let Some(imm) = imm {
+                        d.cq.push(Event::PutArrived {
+                            src,
+                            imm,
+                            len: data.len() as u32,
+                        });
+                    }
+                } else {
+                    s.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    s.cq.push(Event::Error {
+                        kind: FatalKind::BadMr,
+                        ctx,
+                    });
+                }
+                s.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+            WireOp::Shutdown => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WireModel;
+
+    #[test]
+    fn scheduled_orders_by_time_then_seq() {
+        let a = Scheduled {
+            at: 5,
+            seq: 0,
+            op: WireOp::Shutdown,
+        };
+        let b = Scheduled {
+            at: 5,
+            seq: 1,
+            op: WireOp::Shutdown,
+        };
+        let c = Scheduled {
+            at: 3,
+            seq: 2,
+            op: WireOp::Shutdown,
+        };
+        assert!(c < a && a < b);
+    }
+
+    #[test]
+    fn fabric_spins_up_and_down() {
+        let f = Fabric::new(FabricConfig::test(4));
+        assert_eq!(f.num_hosts(), 4);
+        assert_eq!(f.endpoints().len(), 4);
+        drop(f);
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        let mut cfg = FabricConfig::test(2).with_time_scale(1.0);
+        cfg.wire = WireModel {
+            base_latency_ns: 500_000, // 0.5 ms
+            ns_per_byte: 0.0,
+            jitter_ns: 0,
+            put_extra_ns: 0,
+        };
+        let f = Fabric::new(cfg);
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        let t0 = Instant::now();
+        a.try_send(1, 42, b"hello", 7).unwrap();
+        let ev = loop {
+            if let Some(ev) = b.poll() {
+                break ev;
+            }
+            std::hint::spin_loop();
+        };
+        let dt = t0.elapsed();
+        match ev {
+            Event::Recv { src, header, data } => {
+                assert_eq!(src, 0);
+                assert_eq!(header, 42);
+                assert_eq!(&*data, b"hello");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(
+            dt >= Duration::from_micros(450),
+            "message arrived too early: {dt:?}"
+        );
+    }
+}

@@ -1,0 +1,495 @@
+//! The Gemini round loop: fire → dual-mode sync → control.
+//!
+//! Compared with the Abelian engine, Gemini (i) supports only the blocked
+//! edge-cut (mirrors never have out-edges, so no broadcast phase exists) and
+//! (ii) picks, per peer per round, between a **sparse** frame
+//! (`[0u8][count][(idx,val)…]`) and a **dense** frame (`[1u8][val…]` — one
+//! value for *every* plan entry, no indices). Dense mode trades metadata for
+//! volume exactly as Gemini's dense/sparse `signal/slot` machinery does.
+
+use abelian::apps::App;
+use abelian::comm::{channels, ChannelSpec, CommLayer};
+use abelian::label::{Label, LabelVec};
+use abelian::metrics::{HostMetrics, RoundMetrics};
+use abelian::{HostResult, RunResult};
+use lci_graph::{DistGraph, Partitioning, Policy, Vid};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Gemini engine knobs.
+#[derive(Debug, Clone)]
+pub struct GeminiConfig {
+    /// Use a dense frame for a peer when the changed fraction of its plan
+    /// exceeds this threshold (Gemini's |active|/20-style heuristic).
+    pub dense_threshold: f64,
+    /// Split each peer's round traffic into chunks of roughly this many
+    /// bytes. Gemini's runtime streams many per-thread message batches per
+    /// round rather than one aggregate — the very behaviour that makes its
+    /// MPI path pay per-message probe/matching/`THREAD_MULTIPLE` costs
+    /// (paper §IV-B1). `usize::MAX` disables chunking (required when
+    /// running over the MPI-RMA layer, which has one slot per peer).
+    pub chunk_bytes: usize,
+    /// Safety cap on rounds.
+    pub round_cap: usize,
+}
+
+impl Default for GeminiConfig {
+    fn default() -> Self {
+        GeminiConfig {
+            dense_threshold: 0.25,
+            chunk_bytes: 4 << 10,
+            round_cap: 100_000,
+        }
+    }
+}
+
+/// Run a vertex program Gemini-style. `parts` must be an edge-cut
+/// partitioning (mirrors must not own out-edges).
+pub fn run_gemini<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    layers: &[Arc<dyn CommLayer>],
+    cfg: &GeminiConfig,
+) -> RunResult<A::Acc> {
+    assert_eq!(
+        parts.policy,
+        Policy::EdgeCutBlocked,
+        "Gemini supports only the blocked edge-cut (paper §II)"
+    );
+    let p = parts.parts.len();
+    assert_eq!(layers.len(), p);
+    let entry = 4 + A::Acc::WIRE_BYTES;
+
+    // Reduce-direction sizing: dense frames need plan_len * value bytes;
+    // sparse need count * entry. Worst case is the larger, plus per-chunk
+    // overhead (7-byte chunk header + 4-byte layer sub-frame length each).
+    let max_of = |o: usize, t: usize| {
+        let plan = parts.parts[o].mirror_send[t].len();
+        let base = (plan * entry).max(plan * A::Acc::WIRE_BYTES);
+        let per_chunk = ((cfg.chunk_bytes.saturating_sub(7)) / A::Acc::WIRE_BYTES.min(entry))
+            .max(1);
+        let nchunks = plan.div_ceil(per_chunk).max(1);
+        base + nchunks * 16 + 32
+    };
+    let mut offsets = vec![vec![0usize; p]; p];
+    for (t, row) in offsets.iter_mut().enumerate() {
+        let mut acc = 0;
+        for (o, slot) in row.iter_mut().enumerate() {
+            *slot = acc;
+            acc += 8 + max_of(o, t);
+        }
+    }
+    let specs: Vec<ChannelSpec> = (0..p)
+        .map(|h| ChannelSpec {
+            max_recv: (0..p).map(|o| max_of(o, h)).collect(),
+            max_send: (0..p).map(|t| max_of(h, t)).collect(),
+            slot_at_peer: (0..p).map(|t| offsets[t][h]).collect(),
+        })
+        .collect();
+
+    let hosts: Vec<HostResult<A::Acc>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|h| {
+                let part = &parts.parts[h];
+                let app = Arc::clone(&app);
+                let layer = Arc::clone(&layers[h]);
+                let spec = specs[h].clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || host_main(part, &*app, &*layer, &cfg, spec))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("host")).collect()
+    });
+
+    let mut values = vec![app.identity(); parts.parts[0].global_n];
+    let mut rounds = 0;
+    for hr in &hosts {
+        rounds = rounds.max(hr.metrics.num_rounds());
+        for &(gid, v) in &hr.masters {
+            values[gid as usize] = v;
+        }
+    }
+    RunResult {
+        hosts,
+        values,
+        rounds,
+    }
+}
+
+fn host_main<A: App>(
+    part: &DistGraph,
+    app: &A,
+    layer: &dyn CommLayer,
+    cfg: &GeminiConfig,
+    spec: ChannelSpec,
+) -> HostResult<A::Acc> {
+    let p = part.num_hosts;
+    let me = part.host;
+    let nl = part.num_local();
+    let nm = part.num_masters as usize;
+    let identity = app.identity();
+
+    let labels = LabelVec::new(nl, identity);
+    for l in 0..nm {
+        labels.set(l, app.init(part.l2g[l]));
+    }
+    let consumed = app.output_consumed().then(|| LabelVec::new(nm, identity));
+    let changed: Vec<AtomicBool> = (0..nl).map(|_| AtomicBool::new(false)).collect();
+    for (l, flag) in changed.iter().enumerate().take(nm) {
+        if app.active_initially(part.l2g[l]) {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    layer.register_channel(channels::REDUCE, spec);
+    layer.register_channel(channels::CONTROL, ChannelSpec::uniform(p, me, 16));
+
+    let max_rounds = app.max_rounds().unwrap_or(usize::MAX).min(cfg.round_cap);
+    let deliver = |lid: usize, v: A::Acc| {
+        if labels.reduce_with(lid, v, |a, b| app.reduce(a, b)) {
+            changed[lid].store(true, Ordering::Release);
+        }
+    };
+
+    let mut metrics = HostMetrics::default();
+    let mut round = 0usize;
+
+    loop {
+        let round_start = Instant::now();
+
+        // ---- fire (sparse signal) ---------------------------------------
+        let fire_list: Vec<u32> = (0..nm as u32)
+            .filter(|&l| changed[l as usize].swap(false, Ordering::AcqRel))
+            .collect();
+        for &u in &fire_list {
+            let ul = u as usize;
+            let v0: A::Acc = labels.get(ul);
+            let deg = part.out_degree_global[ul];
+            if app.emit(v0, deg).is_none() {
+                continue;
+            }
+            let v = if app.consuming() {
+                labels.swap(ul, identity)
+            } else {
+                v0
+            };
+            if let Some(c) = &consumed {
+                c.reduce_with(ul, v, |a, b| app.reduce(a, b));
+            }
+            let Some(e) = app.emit(v, deg) else { continue };
+            for (nbr, w) in part.local.neighbors_weighted(u) {
+                deliver(nbr as usize, app.push(e, w));
+            }
+        }
+        let compute = round_start.elapsed();
+
+        // ---- dual-mode sync (reduce) --------------------------------------
+        // Each peer's traffic is split into self-contained chunks; this is
+        // Gemini's stream-of-batches behaviour (it is what makes its MPI
+        // path pay per-message costs).
+        let mut sent_entries = 0u64;
+        let mut sent_bytes = 0u64;
+        layer.begin(channels::REDUCE);
+        for t in 0..p as u16 {
+            if t == me {
+                continue;
+            }
+            let plan = &part.mirror_send[t as usize];
+            let n_changed = plan
+                .iter()
+                .filter(|&&l| changed[l as usize].load(Ordering::Acquire))
+                .count();
+            let dense = !plan.is_empty()
+                && (n_changed as f64) >= cfg.dense_threshold * plan.len() as f64;
+            let chunks = if dense {
+                // Dense: one value per plan slot, identity where unchanged,
+                // split into [start, values...] segments.
+                let values: Vec<A::Acc> = plan
+                    .iter()
+                    .map(|&lid| {
+                        let l = lid as usize;
+                        if changed[l].swap(false, Ordering::AcqRel) {
+                            if app.consuming() {
+                                labels.swap(l, identity)
+                            } else {
+                                labels.get(l)
+                            }
+                        } else {
+                            identity
+                        }
+                    })
+                    .collect();
+                sent_entries += plan.len() as u64;
+                encode_dense_chunks(&values, cfg.chunk_bytes)
+            } else {
+                let mut entries: Vec<(u32, A::Acc)> = Vec::with_capacity(n_changed);
+                for (pos, &lid) in plan.iter().enumerate() {
+                    let l = lid as usize;
+                    if changed[l].swap(false, Ordering::AcqRel) {
+                        let v = if app.consuming() {
+                            labels.swap(l, identity)
+                        } else {
+                            labels.get(l)
+                        };
+                        entries.push((pos as u32, v));
+                    }
+                }
+                sent_entries += entries.len() as u64;
+                encode_sparse_chunks(&entries, cfg.chunk_bytes)
+            };
+            for chunk in chunks {
+                sent_bytes += chunk.len() as u64;
+                layer.send(channels::REDUCE, t, chunk);
+            }
+        }
+        layer.finish_sends(channels::REDUCE);
+        // Receive until every peer's announced chunk count has arrived.
+        let mut progress_per_src: Vec<(u16, u16)> = vec![(0, 0); p]; // (got, total)
+        let mut completed = 0usize;
+        while completed + 1 < p {
+            match layer.try_recv(channels::REDUCE) {
+                Some((src, data)) => {
+                    let plan = &part.master_recv[src as usize];
+                    let total = decode_chunk::<A::Acc>(&data, plan, identity, &deliver);
+                    let e = &mut progress_per_src[src as usize];
+                    e.0 += 1;
+                    e.1 = total;
+                    if e.0 == e.1 {
+                        completed += 1;
+                    }
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+
+        // ---- control -----------------------------------------------------
+        let local_active: u64 = (0..nl)
+            .filter(|&l| {
+                changed[l].load(Ordering::Acquire)
+                    && app
+                        .emit(labels.get(l), part.out_degree_global[l])
+                        .is_some()
+            })
+            .count() as u64;
+        layer.begin(channels::CONTROL);
+        for t in 0..p as u16 {
+            if t != me {
+                layer.send(channels::CONTROL, t, local_active.to_le_bytes().to_vec());
+            }
+        }
+        layer.finish_sends(channels::CONTROL);
+        let mut total = local_active;
+        let mut got = 0usize;
+        while got + 1 < p {
+            match layer.try_recv(channels::CONTROL) {
+                Some((_, data)) => {
+                    got += 1;
+                    total += u64::from_le_bytes(data[..8].try_into().expect("control"));
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+
+        let wall = round_start.elapsed();
+        metrics.rounds.push(RoundMetrics {
+            compute,
+            comm: wall.saturating_sub(compute),
+            sent_entries,
+            sent_bytes,
+        });
+        round += 1;
+        if total == 0 || round >= max_rounds {
+            break;
+        }
+    }
+
+    let book = layer.membook();
+    metrics.mem_peak = book.peak();
+    metrics.mem_total_allocated = book.total_allocated();
+
+    let masters = (0..nm)
+        .map(|l| {
+            let v = match &consumed {
+                Some(c) => c.get(l),
+                None => labels.get(l),
+            };
+            (part.l2g[l], v)
+        })
+        .collect();
+
+    HostResult {
+        host: me,
+        masters,
+        metrics,
+    }
+}
+
+/// Chunk wire format: `[kind u8][nchunks u16]` header, then:
+/// * kind 0 (sparse): `[count u32][(pos u32, value)…]`
+/// * kind 1 (dense segment): `[start u32][value…]`
+const KIND_SPARSE: u8 = 0;
+const KIND_DENSE: u8 = 1;
+
+fn chunk_header(out: &mut Vec<u8>, kind: u8, nchunks: usize) {
+    out.push(kind);
+    out.extend_from_slice(&(nchunks as u16).to_le_bytes());
+}
+
+/// Split sparse entries into self-contained chunks of ≤ `chunk_bytes`.
+/// Always emits at least one (possibly empty) chunk.
+fn encode_sparse_chunks<L: Label>(entries: &[(u32, L)], chunk_bytes: usize) -> Vec<Vec<u8>> {
+    let entry = 4 + L::WIRE_BYTES;
+    let cap = ((chunk_bytes.saturating_sub(7)) / entry).max(1);
+    let nchunks = entries.len().div_ceil(cap).max(1);
+    assert!(nchunks <= u16::MAX as usize, "too many chunks for header");
+    let mut out = Vec::with_capacity(nchunks);
+    if entries.is_empty() {
+        let mut buf = Vec::with_capacity(7);
+        chunk_header(&mut buf, KIND_SPARSE, 1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        out.push(buf);
+        return out;
+    }
+    for group in entries.chunks(cap) {
+        let mut buf = Vec::with_capacity(7 + group.len() * entry);
+        chunk_header(&mut buf, KIND_SPARSE, nchunks);
+        buf.extend_from_slice(&(group.len() as u32).to_le_bytes());
+        for &(pos, v) in group {
+            buf.extend_from_slice(&pos.to_le_bytes());
+            v.write(&mut buf);
+        }
+        out.push(buf);
+    }
+    out
+}
+
+/// Split a dense value array into `[start, values…]` segments.
+fn encode_dense_chunks<L: Label>(values: &[L], chunk_bytes: usize) -> Vec<Vec<u8>> {
+    let cap = ((chunk_bytes.saturating_sub(7)) / L::WIRE_BYTES).max(1);
+    let nchunks = values.len().div_ceil(cap).max(1);
+    assert!(nchunks <= u16::MAX as usize, "too many chunks for header");
+    let mut out = Vec::with_capacity(nchunks);
+    if values.is_empty() {
+        let mut buf = Vec::with_capacity(7);
+        chunk_header(&mut buf, KIND_DENSE, 1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        out.push(buf);
+        return out;
+    }
+    for (i, group) in values.chunks(cap).enumerate() {
+        let mut buf = Vec::with_capacity(7 + group.len() * L::WIRE_BYTES);
+        chunk_header(&mut buf, KIND_DENSE, nchunks);
+        buf.extend_from_slice(&((i * cap) as u32).to_le_bytes());
+        for v in group {
+            v.write(&mut buf);
+        }
+        out.push(buf);
+    }
+    out
+}
+
+/// Decode one chunk, delivering its non-identity entries; returns the
+/// sender's announced chunk total for this peer/round.
+fn decode_chunk<L: Label>(
+    data: &[u8],
+    plan: &[Vid],
+    identity: L,
+    deliver: &impl Fn(usize, L),
+) -> u16 {
+    assert!(data.len() >= 7, "chunk too short");
+    let kind = data[0];
+    let nchunks = u16::from_le_bytes(data[1..3].try_into().expect("header"));
+    match kind {
+        KIND_DENSE => {
+            let start =
+                u32::from_le_bytes(data[3..7].try_into().expect("dense start")) as usize;
+            for (i, chunk) in data[7..].chunks_exact(L::WIRE_BYTES).enumerate() {
+                let v = L::read(chunk);
+                if v != identity {
+                    deliver(plan[start + i] as usize, v);
+                }
+            }
+        }
+        _ => {
+            let count =
+                u32::from_le_bytes(data[3..7].try_into().expect("sparse count")) as usize;
+            let entry = 4 + L::WIRE_BYTES;
+            for i in 0..count {
+                let off = 7 + i * entry;
+                let pos =
+                    u32::from_le_bytes(data[off..off + 4].try_into().expect("entry")) as usize;
+                let v = L::read(&data[off + 4..]);
+                deliver(plan[pos] as usize, v);
+            }
+        }
+    }
+    nchunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_chunking_roundtrip() {
+        let entries: Vec<(u32, u32)> = (0..100).map(|i| (i, i * 7)).collect();
+        let chunks = encode_sparse_chunks(&entries, 64);
+        assert!(chunks.len() > 1);
+        let plan: Vec<Vid> = (0..100).collect();
+        let got = std::sync::Mutex::new(vec![0u32; 100]);
+        for c in &chunks {
+            let total = decode_chunk::<u32>(c, &plan, u32::MAX, &|lid, v| {
+                got.lock().unwrap()[lid] = v;
+            });
+            assert_eq!(total as usize, chunks.len());
+        }
+        let got = got.into_inner().unwrap();
+        for i in 0..100u32 {
+            assert_eq!(got[i as usize], i * 7);
+        }
+    }
+
+    #[test]
+    fn dense_chunking_roundtrip() {
+        let values: Vec<u32> = (0..50).map(|i| i + 1).collect();
+        let chunks = encode_dense_chunks(&values, 32);
+        assert!(chunks.len() > 1);
+        let plan: Vec<Vid> = (0..50).collect();
+        let got = std::sync::Mutex::new(vec![0u32; 50]);
+        for c in &chunks {
+            decode_chunk::<u32>(c, &plan, 0, &|lid, v| {
+                got.lock().unwrap()[lid] = v;
+            });
+        }
+        let got = got.into_inner().unwrap();
+        for i in 0..50u32 {
+            assert_eq!(got[i as usize], i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_payloads_still_announce_one_chunk() {
+        let chunks = encode_sparse_chunks::<u32>(&[], 1024);
+        assert_eq!(chunks.len(), 1);
+        let plan: Vec<Vid> = vec![];
+        let total = decode_chunk::<u32>(&chunks[0], &plan, u32::MAX, &|_, _| {
+            panic!("no entries expected")
+        });
+        assert_eq!(total, 1);
+        let chunks = encode_dense_chunks::<u32>(&[], 1024);
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn identity_values_skipped_in_dense() {
+        let values = vec![5u32, u32::MAX, 9];
+        let chunks = encode_dense_chunks(&values, 1 << 20);
+        let plan: Vec<Vid> = vec![0, 1, 2];
+        let seen = std::sync::Mutex::new(Vec::new());
+        decode_chunk::<u32>(&chunks[0], &plan, u32::MAX, &|lid, v| {
+            seen.lock().unwrap().push((lid, v));
+        });
+        assert_eq!(seen.into_inner().unwrap(), vec![(0, 5), (2, 9)]);
+    }
+}

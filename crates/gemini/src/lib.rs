@@ -1,0 +1,22 @@
+//! # gemini — a Gemini-style edge-cut graph engine
+//!
+//! A reproduction of the Gemini system [Zhu et al., OSDI'16] as used in the
+//! LCI paper's §IV-B1: a distributed graph engine with a *blocked edge-cut*
+//! partitioning (contiguous vertex ranges balanced by degree) and Gemini's
+//! signature **dual-mode** communication — *sparse* messages carry
+//! `(index, value)` pairs for few active vertices, *dense* messages carry a
+//! full value array (no per-entry metadata) when most of a partition is
+//! active; the mode is chosen adaptively per peer per round.
+//!
+//! Gemini's original runtime issues MPI calls from many threads
+//! (`MPI_THREAD_MULTIPLE`) and probes for incoming traffic; the paper swaps
+//! that for LCI's Queue with simple modifications and measures a 2×
+//! communication speedup. This crate drives the same pluggable
+//! [`abelian::CommLayer`] implementations, so the benchmark harness can
+//! reproduce Fig. 4 (Gemini: LCI vs MPI-Probe).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{run_gemini, GeminiConfig};

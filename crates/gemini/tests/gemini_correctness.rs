@@ -1,0 +1,133 @@
+//! Gemini engine correctness against the sequential references.
+
+use abelian::apps::{reference, App, Bfs, Cc, PageRank, Sssp};
+use abelian::{build_layers, LayerKind};
+use gemini::{run_gemini, GeminiConfig};
+use lci_fabric::FabricConfig;
+use lci_graph::{gen, partition, CsrGraph, Policy};
+use mini_mpi::{MpiConfig, Personality, ThreadLevel};
+use std::sync::Arc;
+
+fn run<A: App>(g: &CsrGraph, hosts: usize, kind: LayerKind, app: A) -> Vec<A::Acc> {
+    let parts = partition(g, hosts, Policy::EdgeCutBlocked);
+    parts.validate(g);
+    // Gemini's original runtime uses MPI_THREAD_MULTIPLE (paper §IV-B1).
+    let (layers, _world) = build_layers(
+        kind,
+        FabricConfig::test(hosts),
+        MpiConfig::default()
+            .with_personality(Personality::zero())
+            .with_thread_level(ThreadLevel::Multiple),
+        lci::LciConfig::for_hosts(hosts),
+    );
+    run_gemini(&parts, Arc::new(app), &layers, &GeminiConfig::default()).values
+}
+
+#[test]
+fn bfs_matches_reference() {
+    let g = gen::rmat(8, 6, 42);
+    let expect = reference::bfs(&g, 0);
+    for kind in [LayerKind::Lci, LayerKind::MpiProbe] {
+        assert_eq!(run(&g, 4, kind, Bfs { source: 0 }), expect, "{}", kind.name());
+    }
+}
+
+#[test]
+fn cc_matches_reference_and_uses_dense_mode() {
+    // All vertices active initially: round 0 must go dense.
+    let g = gen::rmat(8, 8, 5);
+    let expect = reference::cc(&g);
+    let parts = partition(&g, 4, Policy::EdgeCutBlocked);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(4),
+        MpiConfig::default(),
+        lci::LciConfig::for_hosts(4),
+    );
+    let r = run_gemini(&parts, Arc::new(Cc), &layers, &GeminiConfig::default());
+    assert_eq!(r.values, expect);
+    // Dense frames carry one entry per plan slot: round 0 sent_entries must
+    // equal total mirror plan sizes for at least one host.
+    let h0 = &r.hosts[0];
+    let plan_total: usize = parts.parts[0]
+        .mirror_send
+        .iter()
+        .map(|p| p.len())
+        .sum();
+    assert!(
+        h0.metrics.rounds[0].sent_entries as usize >= plan_total,
+        "expected dense round 0: {} sent vs plan {}",
+        h0.metrics.rounds[0].sent_entries,
+        plan_total
+    );
+}
+
+#[test]
+fn sssp_matches_reference() {
+    let g = gen::randomize_weights(&gen::rmat(8, 6, 7), 10, 3);
+    let expect = reference::sssp(&g, 0);
+    assert_eq!(run(&g, 3, LayerKind::Lci, Sssp { source: 0 }), expect);
+}
+
+#[test]
+fn pagerank_close_to_reference() {
+    let g = gen::rmat(8, 6, 9);
+    let expect = reference::pagerank(&g, 0.85, 1e-4, 100);
+    let got = run(&g, 4, LayerKind::Lci, PageRank::default());
+    for v in 0..g.num_vertices() {
+        let d = (got[v] - expect[v]).abs();
+        assert!(
+            d <= 0.05 * expect[v].max(1.0),
+            "pagerank[{v}] {} vs {}",
+            got[v],
+            expect[v]
+        );
+    }
+}
+
+#[test]
+fn sparse_mode_on_low_activity() {
+    // BFS from a path end: few active per round → sparse frames (entries well
+    // below plan totals).
+    let g = gen::path(128);
+    let expect = reference::bfs(&g, 0);
+    let got = run(&g, 4, LayerKind::Lci, Bfs { source: 0 });
+    assert_eq!(got, expect);
+}
+
+#[test]
+#[should_panic(expected = "edge-cut")]
+fn vertex_cut_rejected() {
+    let g = gen::rmat(6, 4, 1);
+    let parts = partition(&g, 2, Policy::VertexCutCartesian);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(2),
+        MpiConfig::default(),
+        lci::LciConfig::default(),
+    );
+    let _ = run_gemini(
+        &parts,
+        Arc::new(Cc),
+        &layers,
+        &GeminiConfig::default(),
+    );
+}
+
+#[test]
+fn single_host() {
+    let g = gen::rmat(7, 4, 3);
+    let expect = reference::bfs(&g, 0);
+    assert_eq!(run(&g, 1, LayerKind::Lci, Bfs { source: 0 }), expect);
+}
+
+#[test]
+fn gemini_over_rma_with_chunking() {
+    // Chunked frames through the MPI-RMA layer: the layer must coalesce
+    // multiple sends per peer per round into its single slot put.
+    let g = gen::rmat(8, 6, 42);
+    let expect = reference::bfs(&g, 0);
+    assert_eq!(run(&g, 4, LayerKind::MpiRma, Bfs { source: 0 }), expect);
+    let expect = reference::cc(&g);
+    assert_eq!(run(&g, 3, LayerKind::MpiRma, Cc), expect);
+}

@@ -1,0 +1,303 @@
+//! Graph I/O: plain-text edge lists and a compact binary CSR format.
+//!
+//! The paper's inputs (clueweb12 and friends) live on disk; this module
+//! provides the loading substrate so generated stand-ins can be persisted
+//! and reloaded instead of regenerated, and external edge lists can be
+//! imported.
+//!
+//! * **Text**: one `u v [w]` edge per line; `#`-prefixed comment lines and
+//!   blank lines are skipped (the common SNAP/web-graph dump convention).
+//! * **Binary**: magic + counts + raw little-endian CSR arrays — loads in
+//!   O(bytes) with no parsing.
+
+use crate::{CsrGraph, Vid};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Binary format magic ("LCIG" + version 1).
+const MAGIC: [u8; 4] = *b"LCG1";
+
+/// Errors from graph I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with a description.
+    Parse(String),
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Parse a text edge list from any reader. Vertices are numbered as they
+/// appear in the file; `n` is `max id + 1`.
+pub fn read_edge_list(r: impl Read) -> Result<CsrGraph, IoError> {
+    let mut edges: Vec<(Vid, Vid, u32)> = Vec::new();
+    let mut max_v: u64 = 0;
+    let mut any_weight = false;
+    for (lineno, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let bad = |what: &str| {
+            IoError::Parse(format!("line {}: {what}: {t:?}", lineno + 1))
+        };
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing source"))?
+            .parse()
+            .map_err(|_| bad("bad source"))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing destination"))?
+            .parse()
+            .map_err(|_| bad("bad destination"))?;
+        let w: u32 = match it.next() {
+            Some(s) => {
+                any_weight = true;
+                s.parse().map_err(|_| bad("bad weight"))?
+            }
+            None => 1,
+        };
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(bad("vertex id exceeds u32"));
+        }
+        max_v = max_v.max(u).max(v);
+        edges.push((u as Vid, v as Vid, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    Ok(if any_weight {
+        CsrGraph::from_edges_weighted(n, &edges)
+    } else {
+        let plain: Vec<(Vid, Vid)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        CsrGraph::from_edges(n, &plain)
+    })
+}
+
+/// Write a graph as a text edge list (weights included when present).
+pub fn write_edge_list(g: &CsrGraph, w: impl Write) -> Result<(), IoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# lci-graph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v, wt) in g.edges() {
+        if g.is_weighted() {
+            writeln!(out, "{u} {v} {wt}")?;
+        } else {
+            writeln!(out, "{u} {v}")?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Serialize a graph in the compact binary format.
+pub fn write_binary(g: &CsrGraph, w: impl Write) -> Result<(), IoError> {
+    let mut out = BufWriter::new(w);
+    out.write_all(&MAGIC)?;
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    out.write_all(&n.to_le_bytes())?;
+    out.write_all(&m.to_le_bytes())?;
+    out.write_all(&[u8::from(g.is_weighted())])?;
+    // Degrees, then edges (and weights), rebuilding offsets on load.
+    for u in 0..g.num_vertices() as Vid {
+        out.write_all(&(g.out_degree(u) as u64).to_le_bytes())?;
+    }
+    for (_, v, _) in g.edges() {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    if g.is_weighted() {
+        for (_, _, w) in g.edges() {
+            out.write_all(&w.to_le_bytes())?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Load a graph from the compact binary format.
+pub fn read_binary(r: impl Read) -> Result<CsrGraph, IoError> {
+    let mut inp = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(IoError::Parse("bad magic (not an LCG1 file)".into()));
+    }
+    let mut b8 = [0u8; 8];
+    inp.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    inp.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8) as usize;
+    let mut b1 = [0u8; 1];
+    inp.read_exact(&mut b1)?;
+    let weighted = b1[0] != 0;
+
+    let mut degrees = vec![0u64; n];
+    for d in degrees.iter_mut() {
+        inp.read_exact(&mut b8)?;
+        *d = u64::from_le_bytes(b8);
+    }
+    if degrees.iter().sum::<u64>() as usize != m {
+        return Err(IoError::Parse("degree sum != edge count".into()));
+    }
+    let mut dsts = vec![0 as Vid; m];
+    let mut b4 = [0u8; 4];
+    for d in dsts.iter_mut() {
+        inp.read_exact(&mut b4)?;
+        *d = u32::from_le_bytes(b4);
+    }
+    let weights = if weighted {
+        let mut ws = vec![0u32; m];
+        for w in ws.iter_mut() {
+            inp.read_exact(&mut b4)?;
+            *w = u32::from_le_bytes(b4);
+        }
+        Some(ws)
+    } else {
+        None
+    };
+
+    // Rebuild the edge list in (src, dst, w) order.
+    let mut edges = Vec::with_capacity(m);
+    let mut cursor = 0usize;
+    for (u, &deg) in degrees.iter().enumerate() {
+        for k in 0..deg as usize {
+            let v = dsts[cursor + k];
+            if (v as usize) >= n {
+                return Err(IoError::Parse(format!("edge dst {v} out of range")));
+            }
+            let w = weights.as_ref().map_or(1, |ws| ws[cursor + k]);
+            edges.push((u as Vid, v, w));
+        }
+        cursor += deg as usize;
+    }
+    Ok(if weighted {
+        CsrGraph::from_edges_weighted(n, &edges)
+    } else {
+        let plain: Vec<(Vid, Vid)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        CsrGraph::from_edges(n, &plain)
+    })
+}
+
+/// Load from a path, choosing the format by extension (`.bin` → binary,
+/// anything else → text edge list).
+pub fn load(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        read_binary(f)
+    } else {
+        read_edge_list(f)
+    }
+}
+
+/// Save to a path, choosing the format by extension.
+pub fn save(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let f = std::fs::File::create(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        write_binary(g, f)
+    } else {
+        write_edge_list(g, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn text_roundtrip_unweighted() {
+        let g = gen::rmat(6, 4, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(sorted_edges(&g), sorted_edges(&g2));
+        assert!(!g2.is_weighted());
+    }
+
+    #[test]
+    fn text_roundtrip_weighted() {
+        let g = gen::randomize_weights(&gen::rmat(6, 4, 9), 50, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert!(g2.is_weighted());
+        assert_eq!(sorted_edges(&g), sorted_edges(&g2));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        for g in [
+            gen::rmat(7, 6, 3),
+            gen::randomize_weights(&gen::kron(6, 4, 2), 9, 7),
+            crate::CsrGraph::from_edges(3, &[]),
+        ] {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            let g2 = read_binary(&buf[..]).unwrap();
+            assert_eq!(g, g2, "binary roundtrip must be exact");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n0 1\n1 2 7\n# trailing\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.is_weighted(), "mixed weights default missing ones to 1");
+        let e = sorted_edges(&g);
+        assert_eq!(e, vec![(0, 1, 1), (1, 2, 7)]);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(read_edge_list("0".as_bytes()).is_err());
+        assert!(read_edge_list("a b".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 x".as_bytes()).is_err());
+        assert!(read_edge_list("99999999999 0".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(read_binary(&b"NOPE"[..]).is_err());
+    }
+
+    #[test]
+    fn file_save_load_by_extension() {
+        let dir = std::env::temp_dir().join(format!("lci-graph-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = gen::randomize_weights(&gen::rmat(6, 4, 4), 5, 5);
+        let t = dir.join("g.txt");
+        let b = dir.join("g.bin");
+        save(&g, &t).unwrap();
+        save(&g, &b).unwrap();
+        assert_eq!(sorted_edges(&load(&t).unwrap()), sorted_edges(&g));
+        assert_eq!(load(&b).unwrap(), g);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sorted_edges(g: &CsrGraph) -> Vec<(Vid, Vid, u32)> {
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        e
+    }
+}

@@ -1,0 +1,29 @@
+//! # lci-graph — graphs, generators, and distributed partitioning
+//!
+//! The graph substrate for the Abelian- and Gemini-style engines:
+//!
+//! * [`CsrGraph`] — compressed sparse row storage with optional edge weights.
+//! * [`gen`] — synthetic generators: RMAT and Kronecker power-law graphs
+//!   (scaled-down stand-ins for the paper's rmat28/kron30), a web-crawl-like
+//!   generator with extreme hubs (stand-in for clueweb12), plus uniform and
+//!   structured graphs for tests.
+//! * [`partition()`] — distributed partitioning with master/mirror proxies:
+//!   blocked edge-cut (Gemini's policy) and Cartesian vertex-cut (Abelian's
+//!   advanced policy, paper ref \[27\]), producing per-host local graphs and
+//!   the exchange plans that drive reduce/broadcast synchronization.
+//! * [`stats`] — the degree/size properties reported in Table I.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use csr::CsrGraph;
+pub use partition::{partition, DistGraph, Partitioning, Policy};
+pub use stats::GraphStats;
+
+/// Vertex identifier (global or local depending on context).
+pub type Vid = u32;

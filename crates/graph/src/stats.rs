@@ -1,0 +1,82 @@
+//! Graph property statistics (the paper's Table I).
+
+use crate::{CsrGraph, Vid};
+
+/// Size and degree properties of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Average degree `|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for a graph.
+    pub fn of(g: &CsrGraph) -> GraphStats {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let max_out = (0..n as Vid).map(|u| g.out_degree(u)).max().unwrap_or(0);
+        let max_in = g.in_degrees().into_iter().max().unwrap_or(0) as usize;
+        GraphStats {
+            vertices: n,
+            edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+
+    /// A Table-I-style row: `|V| |E| E/V maxDout maxDin`.
+    pub fn row(&self, name: &str) -> String {
+        format!(
+            "{:<10} |V|={:<9} |E|={:<10} E/V={:<6.1} maxDout={:<7} maxDin={}",
+            name, self.vertices, self.edges, self.avg_degree, self.max_out_degree,
+            self.max_in_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn star_stats() {
+        let s = GraphStats::of(&gen::star(11));
+        assert_eq!(s.vertices, 11);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.max_out_degree, 10);
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn path_stats() {
+        let s = GraphStats::of(&gen::path(5));
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.avg_degree - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_formats() {
+        let s = GraphStats::of(&gen::path(5));
+        let r = s.row("path5");
+        assert!(r.contains("path5"));
+        assert!(r.contains("|V|=5"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::of(&CsrGraph::from_edges(0, &[]));
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of partitioning invariants across random graphs,
+//! host counts, and policies.
+
+use lci_graph::{gen, partition, CsrGraph, Policy};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    prop_oneof![
+        (4u32..9, 1usize..10, any::<u64>())
+            .prop_map(|(s, ef, seed)| gen::rmat(s, ef, seed)),
+        (4u32..9, 1usize..10, any::<u64>())
+            .prop_map(|(s, ef, seed)| gen::kron(s, ef, seed)),
+        (10usize..200, 0usize..800, any::<u64>())
+            .prop_map(|(n, m, seed)| gen::uniform(n, m, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// The full structural validation (edge conservation, unique masters,
+    /// plan symmetry and ordering) holds for arbitrary inputs.
+    #[test]
+    fn partition_invariants(
+        g in arb_graph(),
+        hosts in 1usize..9,
+        policy_sel in 0usize..3,
+    ) {
+        let policy = Policy::all()[policy_sel];
+        let p = partition(&g, hosts, policy);
+        p.validate(&g);
+    }
+
+    /// Owner assignment is total and consistent between the owner map and
+    /// the master proxies.
+    #[test]
+    fn owners_match_masters(g in arb_graph(), hosts in 1usize..6) {
+        let p = partition(&g, hosts, Policy::VertexCutCartesian);
+        for d in &p.parts {
+            for l in 0..d.num_masters {
+                let gid = d.l2g[l as usize];
+                prop_assert_eq!(p.owner[gid as usize], d.host);
+            }
+            for l in d.num_masters..d.num_local() as u32 {
+                let gid = d.l2g[l as usize];
+                prop_assert_ne!(p.owner[gid as usize], d.host);
+            }
+        }
+    }
+
+    /// Edge-cut invariant: a host's local edges all originate at masters,
+    /// so mirrors never have out-edges (what lets Abelian skip broadcast).
+    #[test]
+    fn edge_cut_mirrors_have_no_out_edges(g in arb_graph(), hosts in 1usize..6) {
+        let p = partition(&g, hosts, Policy::EdgeCutBlocked);
+        for d in &p.parts {
+            for (u, _, _) in d.local.edges() {
+                prop_assert!(d.is_master(u), "mirror with out-edge under edge-cut");
+            }
+        }
+    }
+
+    /// Degree annotations match the global graph.
+    #[test]
+    fn global_degrees_annotated_correctly(g in arb_graph(), hosts in 1usize..6) {
+        let p = partition(&g, hosts, Policy::VertexCutHash);
+        for d in &p.parts {
+            for (l, &gid) in d.l2g.iter().enumerate() {
+                prop_assert_eq!(
+                    d.out_degree_global[l] as usize,
+                    g.out_degree(gid)
+                );
+            }
+        }
+    }
+
+    /// Transpose is an involution and preserves edge multiset sizes.
+    #[test]
+    fn transpose_involution(g in arb_graph()) {
+        let t = g.transpose();
+        prop_assert_eq!(t.num_edges(), g.num_edges());
+        let tt = t.transpose();
+        // Edge multisets must be equal (order within a vertex may differ).
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = tt.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,1 @@
+//! Cross-crate integration tests live in the workspace-level `tests/` directory; see Cargo.toml `[[test]]` entries.

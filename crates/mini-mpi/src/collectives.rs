@@ -1,0 +1,139 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! The engines in this workspace synchronize through their own exchange
+//! plans, but a usable MPI surface needs the standard collectives; they are
+//! also what naive graph frameworks (the paper's §I: "frameworks implemented
+//! on top of TCP or MPI") typically reach for. Implemented with classic
+//! algorithms: dissemination barrier, binomial-tree broadcast,
+//! reduce-to-root + broadcast allreduce.
+//!
+//! All collectives use a reserved tag namespace (top of the tag range) and
+//! must be called by every rank in the same order, like their MPI
+//! namesakes.
+
+use crate::error::MpiError;
+use crate::p2p::MpiComm;
+use bytes::Bytes;
+
+/// Tags `0xF00_0000..` are reserved for collectives.
+const COLL_TAG_BASE: u32 = 0xF00_0000;
+const TAG_BARRIER: u32 = COLL_TAG_BASE;
+const TAG_BCAST: u32 = COLL_TAG_BASE + 0x10_000;
+const TAG_REDUCE: u32 = COLL_TAG_BASE + 0x20_000;
+
+impl MpiComm {
+    /// Dissemination barrier: `⌈log2 p⌉` rounds of pairwise signals.
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let me = self.rank() as usize;
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let to = ((me + dist) % p) as u16;
+            let from = ((me + p - dist) % p) as u16;
+            self.send_blocking(Bytes::new(), to, TAG_BARRIER + round)?;
+            let _ = self.recv_blocking(Some(from), Some(TAG_BARRIER + round))?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast from `root`; returns the payload on every
+    /// rank (the root passes its own through).
+    pub fn bcast(&self, root: u16, data: Option<Bytes>) -> Result<Vec<u8>, MpiError> {
+        let p = self.size();
+        let me = self.rank();
+        // Rotate ranks so the root is virtual rank 0.
+        let vrank = |r: u16| ((r as usize + p - root as usize) % p) as u16;
+        let unrot = |v: u16| (((v as usize) + root as usize) % p) as u16;
+        let mv = vrank(me);
+
+        let mut payload: Option<Vec<u8>> = if me == root {
+            Some(
+                data.ok_or_else(|| MpiError::Invalid("root must supply data".into()))?
+                    .to_vec(),
+            )
+        } else {
+            None
+        };
+
+        // Receive from the parent (virtual rank minus its top bit), then
+        // forward to children.
+        if mv != 0 {
+            let parent = unrot(mv ^ highest_bit(mv));
+            let (_, d) = self.recv_blocking(Some(parent), Some(TAG_BCAST))?;
+            payload = Some(d);
+        }
+        let body = payload.expect("payload present after receive");
+        let mut bit = next_pow2_bit(mv, p);
+        while (mv as usize | bit) < p && bit > mv as usize {
+            let child = unrot((mv as usize | bit) as u16);
+            self.send_blocking(Bytes::from(body.clone()), child, TAG_BCAST)?;
+            bit <<= 1;
+        }
+        Ok(body)
+    }
+
+    /// All-reduce of a `u64` with a commutative, associative `op`
+    /// (reduce-to-rank-0 up a flat tree, then broadcast down).
+    pub fn allreduce_u64(
+        &self,
+        value: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Result<u64, MpiError> {
+        let p = self.size();
+        if p == 1 {
+            return Ok(value);
+        }
+        let me = self.rank();
+        if me == 0 {
+            let mut acc = value;
+            for _ in 1..p {
+                let (_, d) = self.recv_blocking(None, Some(TAG_REDUCE))?;
+                acc = op(acc, u64::from_le_bytes(d[..8].try_into().expect("u64")));
+            }
+            let out = self.bcast(0, Some(Bytes::from(acc.to_le_bytes().to_vec())))?;
+            Ok(u64::from_le_bytes(out[..8].try_into().expect("u64")))
+        } else {
+            self.send_blocking(Bytes::from(value.to_le_bytes().to_vec()), 0, TAG_REDUCE)?;
+            let out = self.bcast(0, None)?;
+            Ok(u64::from_le_bytes(out[..8].try_into().expect("u64")))
+        }
+    }
+}
+
+/// Highest set bit of a nonzero u16 (as a u16 power of two).
+fn highest_bit(v: u16) -> u16 {
+    debug_assert!(v != 0);
+    1 << (15 - v.leading_zeros() as u16)
+}
+
+/// Smallest power of two strictly greater than `v` (first child bit), but at
+/// least 1 for virtual rank 0.
+fn next_pow2_bit(v: u16, _p: usize) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (highest_bit(v) as usize) << 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_helpers() {
+        assert_eq!(highest_bit(1), 1);
+        assert_eq!(highest_bit(2), 2);
+        assert_eq!(highest_bit(3), 2);
+        assert_eq!(highest_bit(12), 8);
+        assert_eq!(next_pow2_bit(0, 8), 1);
+        assert_eq!(next_pow2_bit(1, 8), 2);
+        assert_eq!(next_pow2_bit(5, 8), 8);
+    }
+}

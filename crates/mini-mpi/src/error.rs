@@ -1,0 +1,39 @@
+//! Error type for mini-mpi operations.
+
+use std::fmt;
+
+/// Failure of an MPI-style operation.
+///
+/// Unlike LCI's retryable initiation failures, MPI offers no recovery path
+/// for resource exhaustion — the standard does not require implementations
+/// to handle it, and the paper observed crashes and hangs in practice. A
+/// `Fatal` error therefore poisons the communicator permanently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The communicator has failed (simulated crash); no further calls work.
+    Fatal(String),
+    /// Argument validation failure (bad rank, oversized tag, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Fatal(m) => write!(f, "fatal MPI error (simulated crash): {m}"),
+            MpiError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MpiError::Fatal("x".into()).to_string().contains("crash"));
+        assert!(MpiError::Invalid("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # mini-mpi — an MPI-semantics baseline over the simulated fabric
+//!
+//! The LCI paper compares against two MPI-based communication layers:
+//! two-sided `MPI_Isend`/`MPI_Iprobe`/`MPI_Irecv` (*MPI-Probe*) and
+//! one-sided `MPI_Put` with generalized active-target synchronization
+//! (*MPI-RMA*). To reproduce those comparisons without an MPI installation
+//! (or the cluster it would run on), this crate implements the *semantics*
+//! MPI imposes — and charges their real algorithmic costs — over the same
+//! simulated fabric LCI runs on:
+//!
+//! * **Tag/source matching with wildcards**, implemented (as in real MPI
+//!   implementations, see paper §I) by sequential traversal of posted-receive
+//!   and unexpected-message lists.
+//! * **Non-overtaking ordering** per (source, destination) pair, enforced
+//!   with sequence numbers and a reorder stage.
+//! * **Explicit progress**: the network only advances inside MPI calls
+//!   (`iprobe`/`test`/...), unlike LCI's dedicated server.
+//! * **`MPI_THREAD_MULTIPLE`** as a global lock around every call vs.
+//!   `MPI_THREAD_FUNNELED` with no locking.
+//! * **Fatal resource exhaustion**: when the fabric reports unrecoverable
+//!   errors the communicator fails permanently, modelling the seg-faults and
+//!   hangs the paper observed (§III-B).
+//! * **RMA windows** pre-allocated at worst-case size, `put`, post/start/
+//!   complete/wait (PSCW) active-target synchronization, and fence.
+//!
+//! Different real MPI implementations (IntelMPI, MVAPICH2, OpenMPI — Table
+//! IV of the paper) are modelled as [`Personality`] presets that vary the
+//! per-call software overheads.
+
+#![warn(missing_docs)]
+
+mod collectives;
+mod error;
+mod matching;
+mod p2p;
+mod personality;
+mod rma;
+mod world;
+
+pub use error::MpiError;
+pub use matching::MpiStatus;
+pub use p2p::{MpiComm, MpiConfig, RecvReq, SendReq, ThreadLevel};
+pub use personality::Personality;
+pub use rma::Window;
+pub use world::MpiWorld;

@@ -1,0 +1,56 @@
+//! Bootstrap: a fabric plus one communicator per simulated host.
+
+use crate::p2p::{MpiComm, MpiConfig};
+use crate::rma::WinRegistry;
+use lci_fabric::{Fabric, FabricConfig};
+
+/// A fully wired simulated cluster running mini-mpi on every host.
+pub struct MpiWorld {
+    fabric: Fabric,
+    comms: Vec<MpiComm>,
+}
+
+impl MpiWorld {
+    /// Build a world of `fabric_cfg.num_hosts` communicators.
+    pub fn new(fabric_cfg: FabricConfig, mpi_cfg: MpiConfig) -> MpiWorld {
+        let fabric = Fabric::new(fabric_cfg);
+        let registry = WinRegistry::new();
+        let comms = (0..fabric.num_hosts())
+            .map(|h| MpiComm::new(fabric.endpoint(h), mpi_cfg.clone(), registry.clone()))
+            .collect();
+        MpiWorld { fabric, comms }
+    }
+
+    /// The communicator for rank `host`.
+    pub fn comm(&self, host: usize) -> MpiComm {
+        self.comms[host].clone()
+    }
+
+    /// All communicators, rank order.
+    pub fn comms(&self) -> Vec<MpiComm> {
+        self.comms.clone()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds() {
+        let w = MpiWorld::new(FabricConfig::test(3), MpiConfig::default());
+        assert_eq!(w.num_hosts(), 3);
+        assert_eq!(w.comm(1).rank(), 1);
+        assert_eq!(w.comms().len(), 3);
+    }
+}

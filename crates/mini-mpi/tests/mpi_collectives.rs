@@ -1,0 +1,87 @@
+//! Collective operation tests (barrier / bcast / allreduce).
+
+use bytes::Bytes;
+use lci_fabric::FabricConfig;
+use mini_mpi::{MpiComm, MpiConfig, MpiWorld, Personality};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn spmd<F>(n: usize, f: F)
+where
+    F: Fn(usize, MpiComm) + Send + Sync + 'static,
+{
+    let w = MpiWorld::new(
+        FabricConfig::test(n),
+        MpiConfig::default().with_personality(Personality::zero()),
+    );
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|r| {
+            let comm = w.comm(r);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f(r, comm))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn barrier_synchronizes() {
+    for n in [1usize, 2, 3, 5, 8] {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        spmd(n, move |_r, comm| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // After the barrier, every rank must have incremented.
+            assert_eq!(c2.load(Ordering::SeqCst), comm.size());
+            comm.barrier().unwrap();
+        });
+    }
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for n in [2usize, 3, 4, 7] {
+        for root in 0..n as u16 {
+            spmd(n, move |r, comm| {
+                let data = (r as u16 == root)
+                    .then(|| Bytes::from(format!("payload-from-{root}")));
+                let got = comm.bcast(root, data).unwrap();
+                assert_eq!(got, format!("payload-from-{root}").into_bytes());
+            });
+        }
+    }
+}
+
+#[test]
+fn allreduce_sum_and_max() {
+    for n in [1usize, 2, 5, 8] {
+        spmd(n, move |r, comm| {
+            let sum = comm.allreduce_u64((r + 1) as u64, |a, b| a + b).unwrap();
+            let expect: u64 = (1..=n as u64).sum();
+            assert_eq!(sum, expect);
+            let max = comm.allreduce_u64(r as u64 * 10, |a, b| a.max(b)).unwrap();
+            assert_eq!(max, (n as u64 - 1) * 10);
+        });
+    }
+}
+
+#[test]
+fn collectives_compose_with_p2p_traffic() {
+    spmd(4, |r, comm| {
+        // Interleave point-to-point messages with collectives; the reserved
+        // collective tag space must not collide.
+        let next = ((r + 1) % 4) as u16;
+        let prev = ((r + 3) % 4) as u16;
+        comm.send_blocking(Bytes::from(vec![r as u8]), next, 42).unwrap();
+        comm.barrier().unwrap();
+        let (st, data) = comm.recv_blocking(Some(prev), Some(42)).unwrap();
+        assert_eq!(st.src, prev);
+        assert_eq!(data, vec![prev as u8]);
+        let total = comm.allreduce_u64(1, |a, b| a + b).unwrap();
+        assert_eq!(total, 4);
+    });
+}

@@ -1,0 +1,130 @@
+//! Edge cases of the MPI semantics layer.
+
+use bytes::Bytes;
+use lci_fabric::FabricConfig;
+use mini_mpi::{MpiConfig, MpiWorld, Personality};
+
+fn test_world(n: usize) -> MpiWorld {
+    MpiWorld::new(
+        FabricConfig::test(n),
+        MpiConfig::default().with_personality(Personality::zero()),
+    )
+}
+
+#[test]
+fn send_to_self_loops_back() {
+    let w = test_world(2);
+    let a = w.comm(0);
+    a.send_blocking(Bytes::from_static(b"self"), 0, 1).unwrap();
+    let (st, data) = a.recv_blocking(Some(0), Some(1)).unwrap();
+    assert_eq!(st.src, 0);
+    assert_eq!(data, b"self");
+}
+
+#[test]
+fn zero_length_messages() {
+    let w = test_world(2);
+    let a = w.comm(0);
+    let b = w.comm(1);
+    a.send_blocking(Bytes::new(), 1, 0).unwrap();
+    let (st, data) = b.recv_blocking(None, None).unwrap();
+    assert_eq!(st.len, 0);
+    assert!(data.is_empty());
+}
+
+#[test]
+fn many_tags_matched_selectively_in_reverse() {
+    // Send tags 0..50, receive them in reverse order by tag: every receive
+    // must traverse past the earlier-arrived messages (matching stress).
+    let w = test_world(2);
+    let a = w.comm(0);
+    let b = w.comm(1);
+    for i in 0..50u32 {
+        a.send_blocking(Bytes::from(vec![i as u8]), 1, i).unwrap();
+    }
+    for i in (0..50u32).rev() {
+        let (st, data) = b.recv_blocking(None, Some(i)).unwrap();
+        assert_eq!(st.tag, i);
+        assert_eq!(data, vec![i as u8]);
+    }
+}
+
+#[test]
+fn interleaved_eager_and_rendezvous_same_pair_ordered() {
+    // Non-overtaking must hold even when protocols differ: an eager message
+    // sent after a rendezvous to the same (src, tag) must not match first.
+    let w = test_world(2);
+    let a = w.comm(0);
+    let b = w.comm(1);
+    let big = vec![1u8; 100_000];
+    let t = {
+        let big = big.clone();
+        std::thread::spawn(move || {
+            a.send_blocking(Bytes::from(big), 1, 5).unwrap(); // rendezvous
+            a.send_blocking(Bytes::from_static(b"small"), 1, 5).unwrap(); // eager
+        })
+    };
+    let (st1, d1) = b.recv_blocking(Some(0), Some(5)).unwrap();
+    assert_eq!(st1.len, big.len(), "rendezvous must match first");
+    assert_eq!(d1, big);
+    let (_, d2) = b.recv_blocking(Some(0), Some(5)).unwrap();
+    assert_eq!(d2, b"small");
+    t.join().unwrap();
+}
+
+#[test]
+fn probe_sees_rendezvous_size_before_transfer() {
+    // iprobe on an un-received rendezvous announcement reports the full
+    // size — the information MPI-Probe layers rely on to allocate.
+    let w = test_world(2);
+    let a = w.comm(0);
+    let b = w.comm(1);
+    let t = std::thread::spawn(move || {
+        a.send_blocking(Bytes::from(vec![7u8; 64_000]), 1, 9).unwrap();
+    });
+    let st = loop {
+        if let Some(st) = b.iprobe(None, None).unwrap() {
+            break st;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(st.len, 64_000);
+    assert_eq!(st.tag, 9);
+    let (_, data) = b.recv_blocking(Some(st.src), Some(st.tag)).unwrap();
+    assert_eq!(data.len(), 64_000);
+    t.join().unwrap();
+}
+
+#[test]
+fn personalities_cost_shows_in_wall_time() {
+    // Structural sanity of the cost model: a personality with heavy call
+    // overhead takes measurably longer for the same call sequence.
+    use std::time::Instant;
+    let run = |p: Personality| {
+        let w = MpiWorld::new(
+            FabricConfig::test(2),
+            MpiConfig::default().with_personality(p),
+        );
+        let a = w.comm(0);
+        let b = w.comm(1);
+        let t0 = Instant::now();
+        for i in 0..200 {
+            a.send_blocking(Bytes::from_static(b"x"), 1, i).unwrap();
+            let _ = b.recv_blocking(None, None).unwrap();
+        }
+        t0.elapsed()
+    };
+    let cheap = run(Personality::zero());
+    let costly = run(Personality {
+        name: "heavy",
+        call_overhead_ns: 50_000,
+        match_cost_ns: 0,
+        probe_extra_ns: 0,
+        lock_overhead_ns: 0,
+        rma_put_overhead_ns: 0,
+    });
+    assert!(
+        costly > cheap,
+        "heavy personality {costly:?} must exceed zero {cheap:?}"
+    );
+}

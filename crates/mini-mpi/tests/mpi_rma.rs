@@ -1,0 +1,153 @@
+//! Behavioural tests for mini-mpi one-sided RMA.
+
+use mini_mpi::{MpiConfig, MpiWorld, Personality};
+use lci_fabric::FabricConfig;
+
+fn test_world(n: usize) -> MpiWorld {
+    MpiWorld::new(
+        FabricConfig::test(n),
+        MpiConfig::default().with_personality(Personality::zero()),
+    )
+}
+
+/// Run one closure per rank on its own thread and join.
+fn spmd<F>(w: &MpiWorld, f: F)
+where
+    F: Fn(usize, mini_mpi::MpiComm) + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    let handles: Vec<_> = (0..w.num_hosts())
+        .map(|r| {
+            let comm = w.comm(r);
+            let f = std::sync::Arc::clone(&f);
+            std::thread::spawn(move || f(r, comm))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn win_create_is_collective() {
+    let w = test_world(3);
+    spmd(&w, |_r, comm| {
+        let win = comm.win_create(128).unwrap();
+        assert_eq!(win.size(), 128);
+    });
+}
+
+#[test]
+fn pscw_put_roundtrip() {
+    // Classic PSCW: every rank puts its rank byte into rank 0's window.
+    let w = test_world(4);
+    spmd(&w, |r, comm| {
+        let win = comm.win_create(16).unwrap();
+        let n = comm.size() as u16;
+        if r == 0 {
+            let origins: Vec<u16> = (1..n).collect();
+            win.post(&origins).unwrap();
+            win.wait().unwrap();
+            let mut buf = [0u8; 1];
+            for o in 1..n {
+                win.read_local(o as usize, &mut buf);
+                assert_eq!(buf[0], o as u8, "origin {o} data missing");
+            }
+        } else {
+            win.start(&[0]).unwrap();
+            win.put(0, r, &[r as u8]).unwrap();
+            win.complete().unwrap();
+        }
+    });
+}
+
+#[test]
+fn pscw_bidirectional_epochs() {
+    // Both ranks expose and access simultaneously (the Abelian MPI-RMA
+    // pattern: every host is both origin and target each round).
+    let w = test_world(2);
+    spmd(&w, |r, comm| {
+        let win = comm.win_create(8).unwrap();
+        let peer = (1 - r) as u16;
+        for round in 0..5u8 {
+            win.post(&[peer]).unwrap();
+            win.start(&[peer]).unwrap();
+            win.put(peer, 0, &[round * 10 + r as u8]).unwrap();
+            win.complete().unwrap();
+            win.wait().unwrap();
+            let mut b = [0u8; 1];
+            win.read_local(0, &mut b);
+            assert_eq!(b[0], round * 10 + peer as u8);
+        }
+    });
+}
+
+#[test]
+fn fence_synchronizes_all() {
+    let w = test_world(3);
+    spmd(&w, |r, comm| {
+        let win = comm.win_create(4).unwrap();
+        let n = comm.size();
+        // Everyone puts into the next rank, then fences.
+        let next = ((r + 1) % n) as u16;
+        win.fence().unwrap();
+        win.put(next, 0, &[r as u8 + 1]).unwrap();
+        win.fence().unwrap();
+        let mut b = [0u8; 1];
+        win.read_local(0, &mut b);
+        let prev = ((r + n - 1) % n) as u8;
+        assert_eq!(b[0], prev + 1);
+    });
+}
+
+#[test]
+fn put_to_self_is_local() {
+    let w = test_world(2);
+    spmd(&w, |r, comm| {
+        let win = comm.win_create(4).unwrap();
+        win.put(r as u16, 1, &[0xEE]).unwrap();
+        let mut b = [0u8; 1];
+        win.read_local(1, &mut b);
+        assert_eq!(b[0], 0xEE);
+    });
+}
+
+#[test]
+fn multiple_windows_independent() {
+    let w = test_world(2);
+    spmd(&w, |r, comm| {
+        let w1 = comm.win_create(4).unwrap();
+        let w2 = comm.win_create(4).unwrap();
+        assert_ne!(w1.id(), w2.id());
+        let peer = (1 - r) as u16;
+        w1.fence().unwrap();
+        w2.fence().unwrap();
+        w1.put(peer, 0, &[1]).unwrap();
+        w2.put(peer, 0, &[2]).unwrap();
+        w1.fence().unwrap();
+        w2.fence().unwrap();
+        let mut b = [0u8; 1];
+        w1.read_local(0, &mut b);
+        assert_eq!(b[0], 1);
+        w2.read_local(0, &mut b);
+        assert_eq!(b[0], 2);
+    });
+}
+
+#[test]
+fn large_put_in_window() {
+    let w = test_world(2);
+    spmd(&w, |r, comm| {
+        let win = comm.win_create(1 << 20).unwrap();
+        let peer = (1 - r) as u16;
+        let data: Vec<u8> = (0..500_000).map(|i| (i % 255) as u8).collect();
+        win.post(&[peer]).unwrap();
+        win.start(&[peer]).unwrap();
+        win.put(peer, 7, &data).unwrap();
+        win.complete().unwrap();
+        win.wait().unwrap();
+        let mut got = vec![0u8; data.len()];
+        win.read_local(7, &mut got);
+        assert_eq!(got, data);
+    });
+}

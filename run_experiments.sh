@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper. Run with nothing else
+# competing for CPU (single-core simulation host).
+set -e
+cd "$(dirname "$0")"
+R=results
+mkdir -p $R
+echo "=== fig1 ==="    && FIG1_ITERS=500 ./target/release/fig1_microbench | tee $R/fig1.txt
+echo "=== table1 ==="  && ./target/release/table1_inputs | tee $R/table1.txt
+echo "=== fig3 ==="    && BENCH_TRIALS=3 FIG3_GRAPHS=rmat13,kron13 FIG3_HOSTS=2,4,8 ./target/release/fig3_abelian | tee $R/fig3.txt
+echo "=== fig4 ==="    && BENCH_TRIALS=3 FIG4_GRAPHS=rmat13,kron13 FIG4_HOSTS=2,4,8 ./target/release/fig4_gemini | tee $R/fig4.txt
+echo "=== fig5 ==="    && FIG5_GRAPH=kron13 FIG5_HOSTS=8 BENCH_TRIALS=1 ./target/release/fig5_memory | tee $R/fig5.txt
+echo "=== fig6 ==="    && FIG6_GRAPH=kron13 FIG6_HOSTS=4 ./target/release/fig6_breakdown | tee $R/fig6.txt
+echo "=== table2 ==="  && BENCH_TRIALS=3 T2_GRAPH=rmat13 T2_HOSTS=4 ./target/release/table2_clusters | tee $R/table2.txt
+echo "=== table4 ==="  && BENCH_TRIALS=5 T4_GRAPH=kron13 T4_HOSTS=4 ./target/release/table4_mpi_impls | tee $R/table4.txt
+echo "=== ablation: eager threshold ===" && ABL_ITERS=300 ./target/release/ablation_eager_threshold | tee $R/ablation_eager.txt
+echo "=== ablation: dense mode ==="      && BENCH_TRIALS=3 ./target/release/ablation_dense_mode | tee $R/ablation_dense.txt
+echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,93 @@
+//! Property-based cross-layer equivalence: for random graphs, host counts,
+//! policies and sources, all three communication layers must produce
+//! identical results — the comm layer may change *performance*, never
+//! *answers*.
+
+use abelian::apps::{reference, Bfs, Cc, Sssp};
+use abelian::{build_layers, run_app, EngineConfig, LayerKind};
+use lci_fabric::FabricConfig;
+use lci_graph::{gen, partition, CsrGraph, Policy};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (5u32..9, 2usize..8, any::<u64>()).prop_map(|(scale, ef, seed)| {
+        gen::randomize_weights(&gen::rmat(scale, ef, seed), 10, seed ^ 0x55)
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::EdgeCutBlocked),
+        Just(Policy::VertexCutCartesian),
+        Just(Policy::VertexCutHash),
+    ]
+}
+
+fn run_layer<A: abelian::apps::App>(
+    parts: &lci_graph::Partitioning,
+    kind: LayerKind,
+    app: A,
+) -> Vec<A::Acc> {
+    let hosts = parts.parts.len();
+    let (layers, _world) = build_layers(
+        kind,
+        FabricConfig::test(hosts),
+        mini_mpi::MpiConfig::default()
+            .with_personality(mini_mpi::Personality::zero()),
+        lci::LciConfig::for_hosts(hosts),
+    );
+    run_app(parts, Arc::new(app), &layers, &EngineConfig::default()).values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn bfs_equivalent_across_layers(
+        g in arb_graph(),
+        hosts in 2usize..5,
+        policy in arb_policy(),
+        source_sel in any::<u32>(),
+    ) {
+        let source = source_sel % g.num_vertices() as u32;
+        let parts = partition(&g, hosts, policy);
+        parts.validate(&g);
+        let expect = reference::bfs(&g, source);
+        for kind in LayerKind::all() {
+            let got = run_layer(&parts, kind, Bfs { source });
+            prop_assert_eq!(&got, &expect, "layer {} policy {:?}", kind.name(), policy);
+        }
+    }
+
+    #[test]
+    fn cc_equivalent_across_layers(
+        g in arb_graph(),
+        hosts in 2usize..5,
+        policy in arb_policy(),
+    ) {
+        let parts = partition(&g, hosts, policy);
+        let expect = reference::cc(&g);
+        for kind in LayerKind::all() {
+            let got = run_layer(&parts, kind, Cc);
+            prop_assert_eq!(&got, &expect, "layer {} policy {:?}", kind.name(), policy);
+        }
+    }
+
+    #[test]
+    fn sssp_equivalent_across_layers(
+        g in arb_graph(),
+        hosts in 2usize..4,
+        source_sel in any::<u32>(),
+    ) {
+        let source = source_sel % g.num_vertices() as u32;
+        let parts = partition(&g, hosts, Policy::VertexCutCartesian);
+        let expect = reference::sssp(&g, source);
+        for kind in LayerKind::all() {
+            let got = run_layer(&parts, kind, Sssp { source });
+            prop_assert_eq!(&got, &expect, "layer {}", kind.name());
+        }
+    }
+}

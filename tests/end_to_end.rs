@@ -1,0 +1,183 @@
+//! Workspace-spanning end-to-end tests: graph generation → partitioning →
+//! engine → communication layer → fabric, on realistic (non-instant) wire
+//! configurations.
+
+use abelian::apps::{reference, Bfs, Cc, PageRank, Sssp};
+use abelian::{build_layers, run_app, EngineConfig, LayerKind};
+use gemini::{run_gemini, GeminiConfig};
+use lci_fabric::FabricConfig;
+use lci_graph::{gen, partition, Policy};
+use std::sync::Arc;
+
+/// A full run on the realistic Stampede2-like wire (latency, bandwidth,
+/// jitter all nonzero): timing noise must never affect results.
+#[test]
+fn realistic_wire_preserves_correctness() {
+    let g = gen::rmat(9, 8, 77);
+    let parts = partition(&g, 4, Policy::VertexCutCartesian);
+    let expect = reference::bfs(&g, 0);
+    for kind in LayerKind::all() {
+        let (layers, _world) = build_layers(
+            kind,
+            FabricConfig::stampede2(4),
+            mini_mpi::MpiConfig::default(),
+            lci::LciConfig::for_hosts(4),
+        );
+        let r = run_app(
+            &parts,
+            Arc::new(Bfs { source: 0 }),
+            &layers,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.values, expect, "layer {}", kind.name());
+    }
+}
+
+/// The same app must agree across engines (Abelian vertex-cut vs Gemini
+/// edge-cut) and layers, all the way down to per-vertex values.
+#[test]
+fn engines_agree_across_partitionings() {
+    let g = gen::kron(9, 6, 3);
+    let expect = reference::cc(&g);
+
+    let a_parts = partition(&g, 3, Policy::VertexCutCartesian);
+    let (layers, _w1) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(3),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(3),
+    );
+    let abel = run_app(&a_parts, Arc::new(Cc), &layers, &EngineConfig::default());
+
+    let g_parts = partition(&g, 3, Policy::EdgeCutBlocked);
+    let (layers, _w2) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(3),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(3),
+    );
+    let gem = run_gemini(&g_parts, Arc::new(Cc), &layers, &GeminiConfig::default());
+
+    assert_eq!(abel.values, expect);
+    assert_eq!(gem.values, expect);
+}
+
+/// Weighted SSSP across both engines on the InfiniBand-like preset.
+#[test]
+fn sssp_on_stampede1_preset() {
+    let g = gen::randomize_weights(&gen::rmat(8, 8, 15), 20, 4);
+    let expect = reference::sssp(&g, 3);
+    let parts = partition(&g, 2, Policy::EdgeCutBlocked);
+    let (layers, _world) = build_layers(
+        LayerKind::MpiProbe,
+        FabricConfig::stampede1(2),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(2),
+    );
+    let r = run_gemini(
+        &parts,
+        Arc::new(Sssp { source: 3 }),
+        &layers,
+        &GeminiConfig::default(),
+    );
+    assert_eq!(r.values, expect);
+}
+
+/// PageRank mass conservation under distribution: total rank stays within
+/// tolerance-driven drift of the sequential result.
+#[test]
+fn pagerank_mass_is_conserved() {
+    let g = gen::webby(9, 6, 8);
+    let seq = reference::pagerank(&g, 0.85, 1e-4, 100);
+    let seq_mass: f32 = seq.iter().sum();
+
+    let parts = partition(&g, 4, Policy::VertexCutHash);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(4),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(4),
+    );
+    let r = run_app(
+        &parts,
+        Arc::new(PageRank::default()),
+        &layers,
+        &EngineConfig::default(),
+    );
+    let dist_mass: f32 = r.values.iter().sum();
+    assert!(
+        (dist_mass - seq_mass).abs() / seq_mass < 0.02,
+        "mass drifted: {dist_mass} vs {seq_mass}"
+    );
+}
+
+/// Run two different apps back-to-back over the same layers: channel state
+/// (round counters, windows) from the first run must not leak into the
+/// second because fresh worlds are built per run.
+#[test]
+fn back_to_back_runs_are_independent() {
+    let g = gen::rmat(8, 6, 5);
+    let parts = partition(&g, 2, Policy::VertexCutCartesian);
+    for _ in 0..2 {
+        let (layers, _world) = build_layers(
+            LayerKind::MpiRma,
+            FabricConfig::test(2),
+            mini_mpi::MpiConfig::default(),
+            lci::LciConfig::for_hosts(2),
+        );
+        let r = run_app(
+            &parts,
+            Arc::new(Bfs { source: 0 }),
+            &layers,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.values, reference::bfs(&g, 0));
+    }
+}
+
+/// The biggest end-to-end case in the suite: 8 hosts, power-law graph,
+/// all four apps on LCI.
+#[test]
+fn eight_host_full_sweep_lci() {
+    let g = gen::randomize_weights(&gen::rmat(10, 8, 21), 10, 6);
+    let parts = partition(&g, 8, Policy::VertexCutCartesian);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(8),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(8),
+    );
+    let cfg = EngineConfig::default();
+
+    let bfs = run_app(&parts, Arc::new(Bfs { source: 0 }), &layers, &cfg);
+    assert_eq!(bfs.values, reference::bfs(&g, 0));
+
+    let cc = run_app(&parts, Arc::new(Cc), &layers, &cfg);
+    assert_eq!(cc.values, reference::cc(&g));
+
+    let sssp = run_app(&parts, Arc::new(Sssp { source: 0 }), &layers, &cfg);
+    assert_eq!(sssp.values, reference::sssp(&g, 0));
+
+    let pr = run_app(&parts, Arc::new(PageRank::default()), &layers, &cfg);
+    let seq = reference::pagerank(&g, 0.85, 1e-4, 100);
+    for (a, b) in pr.values.iter().zip(&seq) {
+        assert!((a - b).abs() <= 0.05 * b.max(1.0));
+    }
+}
+
+/// The engine over LCI in emulated-put mode (psm2-style fragment streams):
+/// large reduce frames take the fragment path and must stay correct.
+#[test]
+fn engine_over_emulated_put_lci() {
+    let g = gen::rmat(9, 8, 88);
+    let parts = partition(&g, 4, Policy::VertexCutCartesian);
+    let expect = reference::cc(&g);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(4),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(4).with_put_mode(lci::PutMode::Emulated),
+    );
+    let r = run_app(&parts, Arc::new(Cc), &layers, &EngineConfig::default());
+    assert_eq!(r.values, expect);
+}

@@ -1,0 +1,183 @@
+//! Stress and failure-injection tests across crates: resource exhaustion,
+//! tiny pools, hostile fabric configurations, and sustained many-round runs.
+
+use abelian::apps::{reference, Bfs, Cc};
+use abelian::{build_layers, run_app, EngineConfig, LayerKind};
+use bytes::Bytes;
+use lci::{LciConfig, LciWorld};
+use lci_fabric::FabricConfig;
+use lci_graph::{gen, partition, Policy};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// LCI under a starved fabric: injection depth 2 and 8 receive buffers.
+/// Everything still completes (slowly) because every failure is retryable.
+#[test]
+fn lci_survives_starved_fabric() {
+    let mut fcfg = FabricConfig::test(2)
+        .with_injection_depth(2)
+        .with_rx_buffers(8);
+    fcfg.rnr_delay_ns = 1_000;
+    fcfg.time_scale = 1.0;
+    let lcfg = LciConfig::default().with_packet_count(4);
+    let w = LciWorld::new(fcfg, lcfg);
+    let a = w.device(0);
+    let b = w.device(1);
+    const N: usize = 300;
+    let recv = std::thread::spawn(move || {
+        let mut got = 0;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while got < N {
+            if let Some(r) = b.recv_deq() {
+                assert!(r.is_done());
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+            assert!(Instant::now() < deadline, "starved at {got}/{N}");
+        }
+    });
+    for i in 0..N {
+        loop {
+            match a.send_enq(Bytes::from(vec![i as u8; 32]), 1, i as u32 % 100) {
+                Ok(_) => break,
+                Err(e) if e.is_retryable() => std::thread::yield_now(),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    recv.join().unwrap();
+    assert!(!a.is_failed());
+}
+
+/// The engine on a deliberately slow, jittery wire with a tiny packet pool:
+/// correctness must be identical to the fast path.
+#[test]
+fn engine_on_hostile_fabric() {
+    let g = gen::rmat(8, 6, 33);
+    let parts = partition(&g, 3, Policy::VertexCutCartesian);
+    let expect = reference::bfs(&g, 0);
+    let mut fcfg = FabricConfig::stampede2(3).with_injection_depth(8);
+    fcfg.wire.jitter_ns = 2_000; // heavy jitter: reordering everywhere
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        fcfg,
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::default().with_packet_count(8),
+    );
+    let r = run_app(
+        &parts,
+        Arc::new(Bfs { source: 0 }),
+        &layers,
+        &EngineConfig::default(),
+    );
+    assert_eq!(r.values, expect);
+}
+
+/// Long-haul: a high-diameter graph forces hundreds of BSP rounds; round
+/// counters, tags, and window epochs must not wrap or leak.
+#[test]
+fn long_haul_many_rounds() {
+    let g = gen::path(600);
+    let parts = partition(&g, 2, Policy::EdgeCutBlocked);
+    let expect = reference::bfs(&g, 0);
+    for kind in LayerKind::all() {
+        let (layers, _world) = build_layers(
+            kind,
+            FabricConfig::test(2),
+            mini_mpi::MpiConfig::default()
+                .with_personality(mini_mpi::Personality::zero()),
+            lci::LciConfig::for_hosts(2),
+        );
+        let r = run_app(
+            &parts,
+            Arc::new(Bfs { source: 0 }),
+            &layers,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.values, expect, "layer {}", kind.name());
+        assert!(r.rounds >= 599, "one round per level expected");
+    }
+}
+
+/// Dense traffic: a complete graph with every vertex active exercises the
+/// all-pairs worst case the RMA windows are sized for.
+#[test]
+fn dense_all_pairs_traffic() {
+    let g = gen::complete(64);
+    let parts = partition(&g, 4, Policy::VertexCutHash);
+    let expect = reference::cc(&g);
+    for kind in LayerKind::all() {
+        let (layers, _world) = build_layers(
+            kind,
+            FabricConfig::test(4),
+            mini_mpi::MpiConfig::default(),
+            lci::LciConfig::for_hosts(4),
+        );
+        let r = run_app(&parts, Arc::new(Cc), &layers, &EngineConfig::default());
+        assert_eq!(r.values, expect, "layer {}", kind.name());
+    }
+}
+
+/// Degenerate inputs: single vertex, no edges, isolated vertices.
+#[test]
+fn degenerate_graphs() {
+    // One vertex, no edges.
+    let g = lci_graph::CsrGraph::from_edges(1, &[]);
+    let parts = partition(&g, 2, Policy::EdgeCutBlocked);
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(2),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(2),
+    );
+    let r = run_app(
+        &parts,
+        Arc::new(Bfs { source: 0 }),
+        &layers,
+        &EngineConfig::default(),
+    );
+    assert_eq!(r.values, vec![0]);
+
+    // All isolated vertices.
+    let g = lci_graph::CsrGraph::from_edges(32, &[]);
+    let parts = partition(&g, 4, Policy::VertexCutCartesian);
+    let (layers, _world) = build_layers(
+        LayerKind::MpiRma,
+        FabricConfig::test(4),
+        mini_mpi::MpiConfig::default(),
+        lci::LciConfig::for_hosts(4),
+    );
+    let r = run_app(&parts, Arc::new(Cc), &layers, &EngineConfig::default());
+    let expect: Vec<u32> = (0..32).collect();
+    assert_eq!(r.values, expect);
+}
+
+/// Many concurrent worlds in one process (fabrics are fully isolated).
+#[test]
+fn concurrent_worlds_do_not_interfere() {
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let g = gen::rmat(7, 4, i as u64);
+                let parts = partition(&g, 2, Policy::EdgeCutBlocked);
+                let (layers, _world) = build_layers(
+                    LayerKind::Lci,
+                    FabricConfig::test(2),
+                    mini_mpi::MpiConfig::default(),
+                    lci::LciConfig::for_hosts(2),
+                );
+                let r = run_app(
+                    &parts,
+                    Arc::new(Bfs { source: 0 }),
+                    &layers,
+                    &EngineConfig::default(),
+                );
+                assert_eq!(r.values, reference::bfs(&g, 0));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
