@@ -9,12 +9,13 @@
 //! and is stashed until its round opens — exactly the per-source ordering
 //! responsibility the paper leaves to the upper layer.
 
-use crate::comm::{ChannelSpec, CommLayer};
+use crate::comm::{ChannelSpec, CommLayer, Degradation};
 use crate::membook::MemBook;
 use bytes::Bytes;
-use lci::{Device, RecvRequest, SendRequest};
+use lci::{Backoff, Device, RecvRequest, SendRequest};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tag encoding: channel in the high bits, round (mod 2^20) in the low.
@@ -39,6 +40,8 @@ pub struct LciLayer {
     dev: Device,
     book: Arc<MemBook>,
     inner: Mutex<Inner>,
+    send_retries: AtomicU64,
+    recv_stalls: AtomicU64,
 }
 
 impl LciLayer {
@@ -53,6 +56,8 @@ impl LciLayer {
                 pending_recvs: Vec::new(),
                 pending_sends: Vec::new(),
             }),
+            send_retries: AtomicU64::new(0),
+            recv_stalls: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +147,10 @@ impl CommLayer for LciLayer {
         let len = data.len();
         self.book.alloc(len);
         let bytes = Bytes::from(data);
+        // Pace the retry loop: spin while pressure is transient, ramp toward
+        // bounded sleeps when the fabric is stressed (brownouts, RNR storms)
+        // so the retry loop doesn't compound the congestion it is riding out.
+        let mut backoff = Backoff::unbounded(500, 20_000);
         loop {
             match self.dev.send_enq(bytes.clone(), dst, tag) {
                 Ok(req) => {
@@ -156,10 +165,11 @@ impl CommLayer for LciLayer {
                 Err(e) if e.is_retryable() => {
                     // The defining LCI behaviour: initiation failed benignly;
                     // make progress and retry.
+                    self.send_retries.fetch_add(1, Ordering::Relaxed);
                     let mut inner = self.inner.lock();
                     self.pump(&mut inner);
                     drop(inner);
-                    std::thread::yield_now();
+                    backoff.snooze();
                 }
                 Err(e) => panic!("LCI send failed fatally: {e}"),
             }
@@ -176,7 +186,17 @@ impl CommLayer for LciLayer {
         let msg = inner.stash.get_mut(&tag).and_then(|q| q.pop_front());
         if let Some((_, data)) = &msg {
             self.book.free(data.len());
+        } else {
+            self.recv_stalls.fetch_add(1, Ordering::Relaxed);
         }
         msg
+    }
+
+    fn degradation(&self) -> Degradation {
+        Degradation {
+            send_retries: self.send_retries.load(Ordering::Relaxed)
+                + self.dev.stats().retries,
+            recv_stalls: self.recv_stalls.load(Ordering::Relaxed),
+        }
     }
 }

@@ -18,12 +18,13 @@
 //! they exceed the eager limit or at the end of the send phase (the bounded-
 //! latency analogue of the paper's timeout).
 
-use crate::comm::{ChannelSpec, CommLayer};
+use crate::comm::{ChannelSpec, CommLayer, Degradation};
 use crate::membook::MemBook;
 use bytes::Bytes;
 use mini_mpi::{MpiComm, RecvReq, SendReq};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tag encoding: channel in the high bits, round (mod 2^24) in the low
@@ -56,6 +57,7 @@ pub struct MpiProbeLayer {
     comm: MpiComm,
     book: Arc<MemBook>,
     inner: Mutex<Inner>,
+    recv_stalls: AtomicU64,
 }
 
 impl MpiProbeLayer {
@@ -71,6 +73,7 @@ impl MpiProbeLayer {
                 pending_sends: Vec::new(),
                 agg: HashMap::new(),
             }),
+            recv_stalls: AtomicU64::new(0),
         }
     }
 
@@ -255,7 +258,18 @@ impl CommLayer for MpiProbeLayer {
         let msg = inner.stash.get_mut(&tag).and_then(|q| q.pop_front());
         if let Some((_, data)) = &msg {
             self.book.free(data.len());
+        } else {
+            self.recv_stalls.fetch_add(1, Ordering::Relaxed);
         }
         msg
+    }
+
+    fn degradation(&self) -> Degradation {
+        Degradation {
+            // MPI has no retryable initiation; what it absorbs instead is
+            // internal spinning on NIC back-pressure (§III-B).
+            send_retries: self.comm.backpressure_spins(),
+            recv_stalls: self.recv_stalls.load(Ordering::Relaxed),
+        }
     }
 }

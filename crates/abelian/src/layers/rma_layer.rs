@@ -8,11 +8,12 @@
 //! and per-origin `wait_any` on the receive side so incoming slots are
 //! scattered in arrival order.
 
-use crate::comm::{ChannelSpec, CommLayer};
+use crate::comm::{ChannelSpec, CommLayer, Degradation};
 use crate::membook::MemBook;
 use mini_mpi::{MpiComm, Window};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Chan {
@@ -37,6 +38,7 @@ pub struct MpiRmaLayer {
     comm: MpiComm,
     book: Arc<MemBook>,
     chans: Mutex<HashMap<usize, Chan>>,
+    recv_stalls: AtomicU64,
 }
 
 impl MpiRmaLayer {
@@ -46,6 +48,7 @@ impl MpiRmaLayer {
             comm,
             book: MemBook::new(),
             chans: Mutex::new(HashMap::new()),
+            recv_stalls: AtomicU64::new(0),
         }
     }
 
@@ -174,7 +177,17 @@ impl CommLayer for MpiRmaLayer {
                 self.book.free(msg.1.len());
                 Some(msg)
             }
-            None => None,
+            None => {
+                self.recv_stalls.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn degradation(&self) -> Degradation {
+        Degradation {
+            send_retries: self.comm.backpressure_spins(),
+            recv_stalls: self.recv_stalls.load(Ordering::Relaxed),
         }
     }
 }

@@ -22,7 +22,7 @@ pub mod layers;
 pub mod membook;
 pub mod metrics;
 
-pub use comm::{ChannelSpec, CommLayer};
+pub use comm::{ChannelSpec, CommLayer, Degradation};
 pub use engine::{run_app, EngineConfig, HostResult, RunResult};
 pub use label::{Label, LabelVec};
 pub use layers::{build_layers, LayerKind, LayerWorld};

@@ -54,6 +54,10 @@ pub enum EnqError {
     TooLarge,
     /// The device has failed fatally.
     Closed,
+    /// [`Device::send_enq_backoff`] spent its whole retry budget without the
+    /// transient condition clearing. Not retryable as-is: the caller should
+    /// escalate (shed load, widen the budget, or treat the fabric as wedged).
+    RetriesExhausted,
 }
 
 impl EnqError {
@@ -70,6 +74,7 @@ impl std::fmt::Display for EnqError {
             EnqError::Backpressure => write!(f, "injection backpressure (retry)"),
             EnqError::TooLarge => write!(f, "tag or size exceeds protocol limits"),
             EnqError::Closed => write!(f, "device failed"),
+            EnqError::RetriesExhausted => write!(f, "retry budget exhausted"),
         }
     }
 }
@@ -142,6 +147,10 @@ pub struct DeviceStats {
     pub received: u64,
     /// `send_enq` attempts rejected for lack of resources.
     pub enq_rejected: u64,
+    /// Retryable failures absorbed inside [`Device::send_enq_backoff`].
+    pub retries: u64,
+    /// Times [`Device::send_enq_backoff`] gave up after spending its budget.
+    pub retries_exhausted: u64,
 }
 
 #[derive(Default)]
@@ -150,6 +159,8 @@ struct StatsInner {
     rdv_opened: AtomicU64,
     received: AtomicU64,
     enq_rejected: AtomicU64,
+    retries: AtomicU64,
+    retries_exhausted: AtomicU64,
 }
 
 struct DeviceInner {
@@ -230,6 +241,8 @@ impl Device {
             rdv_opened: s.rdv_opened.load(Ordering::Relaxed),
             received: s.received.load(Ordering::Relaxed),
             enq_rejected: s.enq_rejected.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            retries_exhausted: s.retries_exhausted.load(Ordering::Relaxed),
         }
     }
 
@@ -338,6 +351,40 @@ impl Device {
                     }
                     Err(e)
                 }
+            }
+        }
+    }
+
+    /// [`Device::send_enq`] wrapped in capped exponential backoff with the
+    /// configured retry budget ([`LciConfig::retry_budget`],
+    /// [`LciConfig::backoff_base_ns`], [`LciConfig::backoff_cap_ns`]).
+    ///
+    /// Retryable failures (`NoPacket`, `Backpressure`) are absorbed: the
+    /// device makes progress itself between attempts (so callers without a
+    /// [`CommServer`](crate::CommServer) still drain completions that free
+    /// packets and injection slots), waits, and retries. The spin-retry of
+    /// the paper's `SEND-ENQ` loop thereby becomes measurable
+    /// ([`DeviceStats::retries`]) and bounded: once the budget is spent the
+    /// call fails with [`EnqError::RetriesExhausted`] instead of hanging —
+    /// the deliberate contrast to mini-mpi, which turns sustained exhaustion
+    /// into a fatal error with no retry at all.
+    pub fn send_enq_backoff(&self, data: Bytes, dst: u16, tag: u32) -> Result<SendRequest, EnqError> {
+        let mut backoff = crate::backoff::Backoff::from_config(&self.inner.cfg);
+        loop {
+            match self.send_enq(data.clone(), dst, tag) {
+                Ok(req) => return Ok(req),
+                Err(e) if e.is_retryable() => {
+                    self.inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.progress();
+                    if !backoff.snooze() {
+                        self.inner
+                            .stats
+                            .retries_exhausted
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(EnqError::RetriesExhausted);
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
     }

@@ -26,6 +26,9 @@ struct Slot<T> {
     /// Sequence stamp: `index` when the slot is writable by the producer who
     /// claimed ticket `index`, `index + 1` once written (readable by the
     /// consumer with ticket `index`), and `index + capacity` after reading.
+    /// All stamp arithmetic wraps: tickets are free-running counters and the
+    /// queue must survive them crossing `usize::MAX` (a long-lived device at
+    /// high message rates will get there on 32-bit targets).
     seq: AtomicUsize,
     val: UnsafeCell<MaybeUninit<T>>,
 }
@@ -79,7 +82,14 @@ impl<T> MpmcQueue<T> {
     pub fn len(&self) -> usize {
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Relaxed);
-        tail.saturating_sub(head)
+        // Wrapping distance: correct across ticket wraparound; a transiently
+        // negative distance (racing loads) reads as empty.
+        let d = tail.wrapping_sub(head) as isize;
+        if d > 0 {
+            d as usize
+        } else {
+            0
+        }
     }
 
     /// Whether the queue appears empty.
@@ -103,7 +113,7 @@ impl<T> MpmcQueue<T> {
         unsafe {
             (*slot.val.get()).write(value);
         }
-        slot.seq.store(ticket + 1, Ordering::Release);
+        slot.seq.store(ticket.wrapping_add(1), Ordering::Release);
     }
 
     /// Dequeue an item if one is ready. Non-destructive on empty.
@@ -112,11 +122,14 @@ impl<T> MpmcQueue<T> {
         loop {
             let slot = &self.slots[head & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
-            if seq == head + 1 {
+            // Signed wrapping distance from our ticket to the stamp — exact
+            // even when the counters straddle usize::MAX.
+            let dist = seq.wrapping_sub(head.wrapping_add(1)) as isize;
+            if dist == 0 {
                 // Slot is full for this ticket: try to claim it.
                 match self.head.compare_exchange_weak(
                     head,
-                    head + 1,
+                    head.wrapping_add(1),
                     Ordering::AcqRel,
                     Ordering::Relaxed,
                 ) {
@@ -125,12 +138,12 @@ impl<T> MpmcQueue<T> {
                         // writing (seq == head+1 observed with Acquire).
                         let value = unsafe { (*slot.val.get()).assume_init_read() };
                         slot.seq
-                            .store(head + self.mask + 1, Ordering::Release);
+                            .store(head.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(value);
                     }
                     Err(h) => head = h,
                 }
-            } else if seq <= head {
+            } else if dist < 0 {
                 // Slot not yet written for this ticket: queue is empty (or a
                 // producer claimed a ticket but has not finished writing).
                 return None;
@@ -139,6 +152,25 @@ impl<T> MpmcQueue<T> {
                 head = self.head.load(Ordering::Relaxed);
             }
         }
+    }
+
+    /// Test-only constructor that starts the ticket counters at `start`,
+    /// letting wraparound tests begin just below `usize::MAX` instead of
+    /// pushing 2^64 items.
+    #[cfg(test)]
+    pub(crate) fn with_initial_ticket(cap: usize, start: usize) -> Self {
+        let q = Self::new(cap);
+        // Stamp by *ticket*, not slot index: ticket `start + k` lives in slot
+        // `(start + k) & mask` and is writable when that slot's seq equals it.
+        for k in 0..q.capacity() {
+            let ticket = start.wrapping_add(k);
+            q.slots[ticket & q.mask]
+                .seq
+                .store(ticket, Ordering::Relaxed);
+        }
+        q.tail.store(start, Ordering::Relaxed);
+        q.head.store(start, Ordering::Relaxed);
+        q
     }
 }
 
@@ -198,6 +230,60 @@ mod tests {
                 assert_eq!(q.try_pop(), Some(round * 10 + i));
             }
         }
+    }
+
+    #[test]
+    fn ticket_counters_survive_usize_wraparound() {
+        // Start the free-running tickets just below usize::MAX so the ring
+        // crosses the wrap within a few pushes.
+        let start = usize::MAX - 2;
+        let q = MpmcQueue::with_initial_ticket(4, start);
+        assert!(q.is_empty());
+        assert!(q.try_pop().is_none());
+        // Push/pop straddling the wrap, FIFO preserved throughout.
+        for i in 0..16u64 {
+            q.push(i);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.try_pop(), Some(i));
+            assert!(q.try_pop().is_none(), "pop past empty across wrap");
+        }
+        // Fill the whole ring while the counters straddle the boundary.
+        let q = MpmcQueue::with_initial_ticket(4, start);
+        for i in 0..4u64 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4u64 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wraparound_concurrent_no_loss() {
+        // Producers and consumers racing while tickets cross usize::MAX.
+        let q = Arc::new(MpmcQueue::<u64>::with_initial_ticket(8, usize::MAX - 3));
+        let qp = Arc::clone(&q);
+        const N: u64 = 10_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                while qp.len() >= 6 {
+                    std::thread::yield_now();
+                }
+                qp.push(i);
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            if let Some(v) = q.try_pop() {
+                assert_eq!(v, expect, "order broke at the ticket wrap");
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
     }
 
     #[test]

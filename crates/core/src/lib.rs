@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+mod backoff;
 mod config;
 mod device;
 mod faa_queue;
@@ -65,6 +66,7 @@ mod request;
 mod server;
 mod world;
 
+pub use backoff::Backoff;
 pub use config::{LciConfig, PutMode};
 pub use device::{Device, DeviceStats, EnqError};
 pub use faa_queue::MpmcQueue;

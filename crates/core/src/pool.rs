@@ -175,6 +175,43 @@ mod tests {
     }
 
     #[test]
+    fn exhaustion_then_concurrent_free_unblocks_retry() {
+        // The SEND-ENQ retry contract end to end: a thread that sees
+        // exhaustion keeps retrying and succeeds as soon as any other
+        // thread returns a packet — no lost wakeups, no permanent None.
+        let pool = Arc::new(PacketPool::new(2, 64, 2));
+        let a = pool.alloc().unwrap();
+        let b = pool.alloc().unwrap();
+        assert!(pool.alloc().is_none(), "pool must start exhausted");
+
+        let retrier = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut attempts = 0u64;
+                let p = loop {
+                    match pool.alloc() {
+                        Some(p) => break p,
+                        None => {
+                            attempts += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                pool.free(p);
+                attempts
+            })
+        };
+        // Give the retrier time to observe exhaustion, then free from this
+        // thread (a different shard hint than the retrier's).
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        pool.free(a);
+        let attempts = retrier.join().unwrap();
+        assert!(attempts >= 1, "retrier should have failed at least once");
+        pool.free(b);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "wrong pool")]
     fn cross_pool_free_panics() {
         let pool = PacketPool::new(1, 64, 1);

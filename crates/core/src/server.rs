@@ -6,6 +6,7 @@
 //! thread"). Compute threads never poll the network; they only read request
 //! status flags.
 
+use crate::backoff::Backoff;
 use crate::device::Device;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,18 +26,15 @@ impl CommServer {
         let handle = std::thread::Builder::new()
             .name(format!("lci-server-{}", device.rank()))
             .spawn(move || {
-                let mut idle: u32 = 0;
+                // Spin while traffic is hot, then ramp toward 50 µs sleeps
+                // once genuinely idle — the server stays sub-microsecond
+                // responsive under load without pinning a core forever.
+                let mut idle = Backoff::unbounded(100, 50_000);
                 while !flag.load(Ordering::Acquire) {
                     if device.progress() > 0 {
-                        idle = 0;
+                        idle.reset();
                     } else {
-                        idle = idle.saturating_add(1);
-                        if idle > 64 {
-                            // Cooperative backoff once genuinely idle.
-                            std::thread::yield_now();
-                        } else {
-                            std::hint::spin_loop();
-                        }
+                        idle.snooze();
                     }
                 }
             })

@@ -1,4 +1,6 @@
-//! Fabric and wire-model configuration.
+//! Fabric and wire-model configuration, including deterministic fault plans.
+
+use crate::HostId;
 
 /// Timing model for the simulated wire.
 ///
@@ -53,6 +55,220 @@ impl WireModel {
     }
 }
 
+/// One kind of transient fault the fabric can inject while a phase is active.
+///
+/// Faults are evaluated against *simulated* time (the same clock the wire
+/// thread schedules deliveries on), so a plan composed with a seeded
+/// [`FabricConfig::seed`] replays bit-for-bit in the deterministic
+/// (manual-step) fabric mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Add `extra_ns + uniform[0, jitter_ns)` to every delivery scheduled
+    /// while the phase is active. Applied *unscaled* (ignores
+    /// [`FabricConfig::time_scale`]) so spikes bite even on instant test
+    /// wires.
+    LatencySpike {
+        /// Fixed extra latency per delivery.
+        extra_ns: u64,
+        /// Additional uniform random jitter, `[0, jitter_ns)`.
+        jitter_ns: u64,
+    },
+    /// Shuffle delivery slots: arrivals are buffered and released in seeded
+    /// random order once `window` of them are pending (or when the phase
+    /// ends). Models adaptive-routing reordering. `window` must be ≥ 2.
+    Reorder {
+        /// Maximum number of deliveries held back at once.
+        window: usize,
+    },
+    /// Receiver-not-ready storm: every eager delivery to `target` is bounced
+    /// as if its receive buffers were exhausted, regardless of actual
+    /// credits. Bounces count toward the per-message
+    /// [`FabricConfig::rnr_retry_limit`], so runtimes with a finite limit
+    /// fail fatally while retry-forever runtimes ride it out.
+    RnrStorm {
+        /// The rank whose receive credits are stalled.
+        target: HostId,
+    },
+    /// Injection-queue brownout: temporarily shrink every endpoint's
+    /// effective injection depth to `max_inflight` (must be ≥ 1), turning
+    /// normally rare `Backpressure` into a sustained condition.
+    Brownout {
+        /// Effective injection depth while the phase is active.
+        max_inflight: usize,
+    },
+}
+
+/// A [`Fault`] active during `[start_ns, start_ns + duration_ns)` of
+/// simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPhase {
+    /// Simulated-time start of the phase.
+    pub start_ns: u64,
+    /// Phase length; the phase is active for `[start_ns, start_ns + duration_ns)`.
+    pub duration_ns: u64,
+    /// What misbehaves while the phase is active.
+    pub fault: Fault,
+}
+
+impl FaultPhase {
+    /// A phase active during `[start_ns, start_ns + duration_ns)`.
+    pub fn new(start_ns: u64, duration_ns: u64, fault: Fault) -> Self {
+        FaultPhase {
+            start_ns,
+            duration_ns,
+            fault,
+        }
+    }
+
+    /// Is this phase active at simulated time `now_ns`?
+    pub fn contains(&self, now_ns: u64) -> bool {
+        now_ns >= self.start_ns && now_ns - self.start_ns < self.duration_ns
+    }
+
+    /// Exclusive end of the phase (saturating).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.duration_ns)
+    }
+}
+
+/// A deterministic chaos schedule: timed [`FaultPhase`]s executed by the wire
+/// thread using the fabric's seeded RNG, so any failing schedule replays
+/// bit-for-bit from `(seed, plan)`.
+///
+/// Phases may overlap; where two phases of the same kind overlap, latency
+/// spikes take the *first* matching phase, brownouts take the *smallest*
+/// depth, and reorder takes the first matching window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled chaos phases.
+    pub phases: Vec<FaultPhase>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the fabric behaves exactly as without fault injection.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when no phases are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Builder-style phase append.
+    pub fn with_phase(mut self, start_ns: u64, duration_ns: u64, fault: Fault) -> Self {
+        self.phases.push(FaultPhase::new(start_ns, duration_ns, fault));
+        self
+    }
+
+    /// Validate the plan against a fabric with `num_hosts` hosts.
+    pub fn validate(&self, num_hosts: usize) -> Result<(), String> {
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.duration_ns == 0 {
+                return Err(format!("phase {i}: duration_ns must be > 0"));
+            }
+            match p.fault {
+                Fault::Reorder { window } if window < 2 => {
+                    return Err(format!("phase {i}: reorder window must be >= 2"));
+                }
+                Fault::Brownout { max_inflight } if max_inflight == 0 => {
+                    return Err(format!("phase {i}: brownout max_inflight must be >= 1"));
+                }
+                Fault::RnrStorm { target } if target as usize >= num_hosts => {
+                    return Err(format!(
+                        "phase {i}: rnr storm target {target} out of range (num_hosts={num_hosts})"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Active latency spike at `now_ns`, as `(extra_ns, jitter_ns)`.
+    pub fn spike_at(&self, now_ns: u64) -> Option<(u64, u64)> {
+        self.phases.iter().find_map(|p| match p.fault {
+            Fault::LatencySpike { extra_ns, jitter_ns } if p.contains(now_ns) => {
+                Some((extra_ns, jitter_ns))
+            }
+            _ => None,
+        })
+    }
+
+    /// Active reorder window at `now_ns`.
+    pub fn reorder_at(&self, now_ns: u64) -> Option<usize> {
+        self.phases.iter().find_map(|p| match p.fault {
+            Fault::Reorder { window } if p.contains(now_ns) => Some(window),
+            _ => None,
+        })
+    }
+
+    /// Is an RNR storm against `target` active at `now_ns`?
+    pub fn rnr_storm_at(&self, now_ns: u64, target: HostId) -> bool {
+        self.phases.iter().any(|p| {
+            matches!(p.fault, Fault::RnrStorm { target: t } if t == target) && p.contains(now_ns)
+        })
+    }
+
+    /// Smallest active brownout depth at `now_ns`, if any brownout is active.
+    pub fn brownout_at(&self, now_ns: u64) -> Option<usize> {
+        self.phases
+            .iter()
+            .filter_map(|p| match p.fault {
+                Fault::Brownout { max_inflight } if p.contains(now_ns) => Some(max_inflight),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Exclusive end of the last phase (0 for an empty plan).
+    pub fn horizon_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.end_ns()).max().unwrap_or(0)
+    }
+
+    /// A seeded pseudo-random chaos plan spanning roughly `horizon_ns` of
+    /// simulated time: one phase of each fault kind, with seed-derived
+    /// offsets and intensities. Used by the chaos profile of the stress
+    /// suite so a single `FABRIC_SEED` reproduces both the plan and the
+    /// wire-level jitter.
+    pub fn chaos(seed: u64, num_hosts: usize, horizon_ns: u64) -> FaultPlan {
+        // Cheap splitmix64 so this stays deterministic without threading the
+        // fabric RNG through configuration building.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            let mut z = state;
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let h = horizon_ns.max(4);
+        let span = h / 4;
+        let mut plan = FaultPlan::none();
+        let faults = [
+            Fault::LatencySpike {
+                extra_ns: 1_000 + next() % 20_000,
+                jitter_ns: 1 + next() % 5_000,
+            },
+            Fault::Reorder {
+                window: 2 + (next() % 6) as usize,
+            },
+            Fault::RnrStorm {
+                target: (next() % num_hosts as u64) as HostId,
+            },
+            Fault::Brownout {
+                max_inflight: 1 + (next() % 4) as usize,
+            },
+        ];
+        for (i, fault) in faults.into_iter().enumerate() {
+            let start = i as u64 * span / 2 + next() % span.max(1);
+            let duration = span / 2 + next() % span.max(1);
+            plan = plan.with_phase(start, duration.max(1), fault);
+        }
+        plan
+    }
+}
+
 /// Configuration for a [`crate::Fabric`].
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -77,8 +293,11 @@ pub struct FabricConfig {
     /// Multiplier applied to all simulated delays (1.0 = real time; 0.0
     /// turns every wire into `WireModel::instant`).
     pub time_scale: f64,
-    /// Seed for delivery jitter.
+    /// Seed for delivery jitter and fault-plan randomness.
     pub seed: u64,
+    /// Timed chaos phases executed by the wire thread ([`FaultPlan::none`]
+    /// disables fault injection entirely).
+    pub fault_plan: FaultPlan,
 }
 
 impl FabricConfig {
@@ -94,6 +313,7 @@ impl FabricConfig {
             rnr_delay_ns: 1_000,
             time_scale: 0.0,
             seed: 0xC0FFEE,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -109,6 +329,7 @@ impl FabricConfig {
             rnr_delay_ns: 4_000,
             time_scale: 1.0,
             seed: 0x57A2,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -124,6 +345,31 @@ impl FabricConfig {
             rnr_delay_ns: 5_000,
             time_scale: 1.0,
             seed: 0x57A1,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+
+    /// A configuration for the deterministic (manual-step) fabric mode of
+    /// [`crate::Fabric::new_manual`]: a latency-bearing wire driven on a
+    /// virtual clock, so simulated time advances discretely with each
+    /// delivery and the whole schedule — including fault phases — replays
+    /// bit-for-bit from `seed`.
+    ///
+    /// The wire must have nonzero latency in this mode: with an instant
+    /// wire the virtual clock never advances and timed fault phases would
+    /// never start or end.
+    pub fn deterministic(num_hosts: usize, seed: u64) -> Self {
+        FabricConfig {
+            num_hosts,
+            wire: WireModel::opa(),
+            injection_depth: 64,
+            rx_buffers: 256,
+            max_payload: 1 << 16,
+            rnr_retry_limit: u32::MAX,
+            rnr_delay_ns: 2_000,
+            time_scale: 1.0,
+            seed,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -156,6 +402,18 @@ impl FabricConfig {
         self.time_scale = s;
         self
     }
+
+    /// Builder-style override of the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -180,11 +438,71 @@ mod tests {
             .with_rx_buffers(9)
             .with_rnr_retry_limit(3)
             .with_time_scale(2.0)
+            .with_seed(99)
             .with_wire(WireModel::opa());
         assert_eq!(c.injection_depth, 7);
         assert_eq!(c.rx_buffers, 9);
         assert_eq!(c.rnr_retry_limit, 3);
         assert_eq!(c.time_scale, 2.0);
+        assert_eq!(c.seed, 99);
         assert_eq!(c.wire, WireModel::opa());
+    }
+
+    #[test]
+    fn fault_phase_window_is_half_open() {
+        let p = FaultPhase::new(100, 50, Fault::Brownout { max_inflight: 1 });
+        assert!(!p.contains(99));
+        assert!(p.contains(100));
+        assert!(p.contains(149));
+        assert!(!p.contains(150));
+        assert_eq!(p.end_ns(), 150);
+    }
+
+    #[test]
+    fn fault_plan_queries() {
+        let plan = FaultPlan::none()
+            .with_phase(0, 100, Fault::LatencySpike { extra_ns: 10, jitter_ns: 5 })
+            .with_phase(50, 100, Fault::Reorder { window: 4 })
+            .with_phase(0, 200, Fault::RnrStorm { target: 1 })
+            .with_phase(0, 100, Fault::Brownout { max_inflight: 8 })
+            .with_phase(50, 100, Fault::Brownout { max_inflight: 2 });
+        assert_eq!(plan.spike_at(0), Some((10, 5)));
+        assert_eq!(plan.spike_at(100), None);
+        assert_eq!(plan.reorder_at(0), None);
+        assert_eq!(plan.reorder_at(60), Some(4));
+        assert!(plan.rnr_storm_at(10, 1));
+        assert!(!plan.rnr_storm_at(10, 0));
+        assert!(!plan.rnr_storm_at(200, 1));
+        // Overlapping brownouts take the smallest depth.
+        assert_eq!(plan.brownout_at(60), Some(2));
+        assert_eq!(plan.brownout_at(10), Some(8));
+        assert_eq!(plan.brownout_at(160), None);
+        assert_eq!(plan.horizon_ns(), 200);
+        assert!(plan.validate(2).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_bad_phases() {
+        let hosts = 2;
+        let bad_window = FaultPlan::none().with_phase(0, 10, Fault::Reorder { window: 1 });
+        assert!(bad_window.validate(hosts).is_err());
+        let bad_depth = FaultPlan::none().with_phase(0, 10, Fault::Brownout { max_inflight: 0 });
+        assert!(bad_depth.validate(hosts).is_err());
+        let bad_target = FaultPlan::none().with_phase(0, 10, Fault::RnrStorm { target: 7 });
+        assert!(bad_target.validate(hosts).is_err());
+        let zero_len = FaultPlan::none().with_phase(0, 0, Fault::RnrStorm { target: 0 });
+        assert!(zero_len.validate(hosts).is_err());
+        assert!(FaultPlan::none().validate(hosts).is_ok());
+    }
+
+    #[test]
+    fn chaos_plans_are_seed_deterministic() {
+        let a = FaultPlan::chaos(42, 4, 1_000_000);
+        let b = FaultPlan::chaos(42, 4, 1_000_000);
+        let c = FaultPlan::chaos(43, 4, 1_000_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.validate(4).is_ok());
+        assert_eq!(a.phases.len(), 4);
     }
 }

@@ -199,11 +199,20 @@ impl Endpoint {
         if (dst as usize) >= self.fabric.endpoints.len() {
             return Err(SendError::BadRank);
         }
-        let depth = self.fabric.config.injection_depth;
+        // A brownout fault phase shrinks the effective injection depth
+        // below the configured one for its duration.
+        let configured = self.fabric.config.injection_depth;
+        let depth = configured.min(self.fabric.brownout_depth.load(Ordering::Relaxed));
         let mut cur = self.shared.inflight.load(Ordering::Relaxed);
         loop {
             if cur >= depth {
                 self.shared.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+                if depth < configured {
+                    self.shared
+                        .stats
+                        .fault_brownout_rejects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 return Err(SendError::Backpressure);
             }
             match self.shared.inflight.compare_exchange_weak(

@@ -10,7 +10,9 @@ use std::fmt;
 /// paper's `SEND-ENQ` returns `NULL` when no resources are available.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendError {
-    /// The endpoint's injection queue is full. Retry later.
+    /// The endpoint's injection queue is full — either genuinely, or because
+    /// a brownout fault phase has temporarily shrunk its effective depth.
+    /// Retry later.
     Backpressure,
     /// The payload exceeds the fabric's `max_payload` for eager sends.
     TooLarge,
@@ -20,6 +22,15 @@ pub enum SendError {
     /// retry limit exceeded — the simulated analogue of the unrecoverable
     /// network errors the paper saw crash MPI runs).
     Closed,
+}
+
+impl SendError {
+    /// Is this the transient condition LCI's flow control is designed to
+    /// absorb? (`Backpressure` yes; everything else is a caller bug or a
+    /// dead endpoint.)
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SendError::Backpressure)
+    }
 }
 
 impl fmt::Display for SendError {
@@ -43,5 +54,13 @@ mod tests {
     fn display_is_informative() {
         assert!(SendError::Backpressure.to_string().contains("retry"));
         assert!(SendError::Closed.to_string().contains("failed"));
+    }
+
+    #[test]
+    fn only_backpressure_is_retryable() {
+        assert!(SendError::Backpressure.is_retryable());
+        assert!(!SendError::TooLarge.is_retryable());
+        assert!(!SendError::BadRank.is_retryable());
+        assert!(!SendError::Closed.is_retryable());
     }
 }

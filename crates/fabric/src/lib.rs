@@ -31,6 +31,16 @@
 //! exhaustion (injection depth, receive buffers) is modelled precisely,
 //! because LCI's retry-on-failure flow control and MPI's crash-on-exhaustion
 //! behaviour (Section III-B of the paper) are core to the comparison.
+//!
+//! ## Deterministic fault injection
+//!
+//! A [`FaultPlan`] attached to the configuration schedules timed chaos
+//! phases — latency spikes, delivery reordering, receiver-not-ready storms,
+//! and injection-queue brownouts — executed by the wire from the same seeded
+//! RNG as delivery jitter. Combined with the caller-stepped
+//! [`Fabric::new_manual`] mode (a virtual clock instead of a wire thread),
+//! any failing chaos schedule replays bit-for-bit from `(seed, plan)`;
+//! per-endpoint fault counters are surfaced in [`StatsSnapshot`].
 
 #![warn(missing_docs)]
 
@@ -43,7 +53,7 @@ mod wire;
 
 pub mod busy;
 
-pub use config::{FabricConfig, WireModel};
+pub use config::{FabricConfig, Fault, FaultPhase, FaultPlan, WireModel};
 pub use endpoint::{Endpoint, Event, FatalKind, PacketBuf};
 pub use error::SendError;
 pub use mr::{MemRegion, MrKey};

@@ -1,4 +1,4 @@
-//! Per-endpoint traffic statistics.
+//! Per-endpoint traffic statistics, including fault-injection counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -12,6 +12,10 @@ pub(crate) struct EndpointStats {
     pub rnr_retries: AtomicU64,
     pub backpressure: AtomicU64,
     pub errors: AtomicU64,
+    pub fault_delayed: AtomicU64,
+    pub fault_reordered: AtomicU64,
+    pub fault_forced_rnr: AtomicU64,
+    pub fault_brownout_rejects: AtomicU64,
 }
 
 impl EndpointStats {
@@ -25,6 +29,10 @@ impl EndpointStats {
             rnr_retries: self.rnr_retries.load(Ordering::Relaxed),
             backpressure: self.backpressure.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            fault_delayed: self.fault_delayed.load(Ordering::Relaxed),
+            fault_reordered: self.fault_reordered.load(Ordering::Relaxed),
+            fault_forced_rnr: self.fault_forced_rnr.load(Ordering::Relaxed),
+            fault_brownout_rejects: self.fault_brownout_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -48,6 +56,16 @@ pub struct StatsSnapshot {
     pub backpressure: u64,
     /// Fatal delivery errors attributed to this endpoint.
     pub errors: u64,
+    /// Deliveries *sent by* this endpoint delayed by a latency-spike fault.
+    pub fault_delayed: u64,
+    /// Deliveries *to* this endpoint held back by a reorder fault.
+    pub fault_reordered: u64,
+    /// Deliveries *to* this endpoint bounced by an RNR-storm fault
+    /// (each bounce also counts in the sender's `rnr_retries`).
+    pub fault_forced_rnr: u64,
+    /// `Backpressure` rejections on this endpoint caused specifically by a
+    /// brownout-shrunk injection depth (a subset of `backpressure`).
+    pub fault_brownout_rejects: u64,
 }
 
 impl StatsSnapshot {
@@ -59,6 +77,14 @@ impl StatsSnapshot {
     /// Total payload bytes injected.
     pub fn bytes(&self) -> u64 {
         self.send_bytes + self.put_bytes
+    }
+
+    /// Total fault-injection events observed at this endpoint.
+    pub fn fault_events(&self) -> u64 {
+        self.fault_delayed
+            + self.fault_reordered
+            + self.fault_forced_rnr
+            + self.fault_brownout_rejects
     }
 }
 
@@ -76,5 +102,16 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.messages(), 5);
         assert_eq!(snap.bytes(), 2300);
+        assert_eq!(snap.fault_events(), 0);
+    }
+
+    #[test]
+    fn fault_counters_roll_up() {
+        let s = EndpointStats::default();
+        s.fault_delayed.store(1, Ordering::Relaxed);
+        s.fault_reordered.store(2, Ordering::Relaxed);
+        s.fault_forced_rnr.store(3, Ordering::Relaxed);
+        s.fault_brownout_rejects.store(4, Ordering::Relaxed);
+        assert_eq!(s.snapshot().fault_events(), 10);
     }
 }

@@ -1,15 +1,28 @@
-//! The wire thread: schedules and delivers injected operations.
+//! The wire: schedules and delivers injected operations, executing the
+//! configured [`crate::FaultPlan`] along the way.
+//!
+//! The wire runs in one of two modes:
+//!
+//! * **Threaded** ([`Fabric::new`]): a dedicated wire thread maps simulated
+//!   time onto wall-clock time, like a real NIC pipeline.
+//! * **Manual** ([`Fabric::new_manual`]): no thread; the caller pumps
+//!   [`Fabric::step`]/[`Fabric::drain`] and time is a *virtual* clock that
+//!   jumps to each scheduled delivery. Because nothing depends on the OS
+//!   scheduler, the entire delivery order — including every fault decision —
+//!   is a pure function of `(config, seed, injection order)` and replays
+//!   bit-for-bit.
 
 use crate::config::FabricConfig;
 use crate::endpoint::{CreditGuard, Endpoint, EndpointShared, Event, FatalKind, PacketBuf};
 use crate::mr::MrKey;
 use crate::HostId;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,49 +47,106 @@ pub(crate) enum WireOp {
     Shutdown,
 }
 
+impl WireOp {
+    fn dst(&self) -> Option<usize> {
+        match self {
+            WireOp::Send { dst, .. } | WireOp::Put { dst, .. } => Some(*dst as usize),
+            WireOp::Shutdown => None,
+        }
+    }
+}
+
 pub(crate) struct FabricShared {
     pub(crate) config: FabricConfig,
     pub(crate) endpoints: Vec<Arc<EndpointShared>>,
     pub(crate) inj_tx: Sender<WireOp>,
     pub(crate) closed: AtomicBool,
+    /// Effective injection depth imposed by an active brownout phase;
+    /// `usize::MAX` when no brownout is active. Written by the wire,
+    /// read by [`Endpoint`] admission.
+    pub(crate) brownout_depth: AtomicUsize,
 }
 
 /// A simulated cluster interconnect.
 ///
-/// Construct one with [`Fabric::new`], hand an [`Endpoint`] to each simulated
-/// host, and drop the `Fabric` to stop the wire thread. Endpoints may outlive
-/// the fabric; their operations then fail with `SendError::Closed`.
+/// Construct one with [`Fabric::new`] (threaded) or [`Fabric::new_manual`]
+/// (deterministic, caller-stepped), hand an [`Endpoint`] to each simulated
+/// host, and drop the `Fabric` to stop the wire. Endpoints may outlive the
+/// fabric; their operations then fail with `SendError::Closed`.
 pub struct Fabric {
     shared: Arc<FabricShared>,
     wire: Option<std::thread::JoinHandle<()>>,
+    manual: Option<Mutex<WireCore>>,
 }
 
 impl Fabric {
     /// Spin up a fabric with `config.num_hosts` endpoints and a wire thread.
+    ///
+    /// # Panics
+    /// Panics if the configuration's fault plan fails
+    /// [`crate::FaultPlan::validate`].
     pub fn new(config: FabricConfig) -> Fabric {
+        Fabric::build(config, false)
+    }
+
+    /// Build a fabric with no wire thread: the caller advances simulated
+    /// time explicitly with [`Fabric::step`] / [`Fabric::drain`].
+    ///
+    /// In this mode the wire runs on a virtual clock, so delivery order,
+    /// fault decisions and [`crate::StatsSnapshot`]s are bit-for-bit
+    /// reproducible from the seed. The wire model should have nonzero
+    /// latency (e.g. [`FabricConfig::deterministic`]) — with an instant
+    /// wire the virtual clock never advances and timed fault phases never
+    /// trigger or expire.
+    ///
+    /// # Panics
+    /// Panics if the configuration's fault plan fails
+    /// [`crate::FaultPlan::validate`].
+    pub fn new_manual(config: FabricConfig) -> Fabric {
+        Fabric::build(config, true)
+    }
+
+    fn build(config: FabricConfig, manual: bool) -> Fabric {
         assert!(config.num_hosts > 0, "fabric needs at least one host");
         assert!(
             config.num_hosts <= HostId::MAX as usize + 1,
             "too many hosts for HostId"
         );
+        if let Err(e) = config.fault_plan.validate(config.num_hosts) {
+            panic!("invalid fault plan: {e}");
+        }
         let (inj_tx, inj_rx) = unbounded();
         let endpoints: Vec<Arc<EndpointShared>> = (0..config.num_hosts)
             .map(|h| Arc::new(EndpointShared::new(h as HostId, config.rx_buffers)))
             .collect();
+        // A brownout phase starting at t=0 must throttle admission before
+        // the wire has executed a single event.
+        let depth0 = config.fault_plan.brownout_at(0).unwrap_or(usize::MAX);
         let shared = Arc::new(FabricShared {
             config,
             endpoints,
             inj_tx,
             closed: AtomicBool::new(false),
+            brownout_depth: AtomicUsize::new(depth0),
         });
-        let wire_shared = Arc::clone(&shared);
-        let wire = std::thread::Builder::new()
-            .name("lci-fabric-wire".into())
-            .spawn(move || WireThread::new(wire_shared, inj_rx).run())
-            .expect("spawn wire thread");
-        Fabric {
-            shared,
-            wire: Some(wire),
+        if manual {
+            let core = WireCore::new(Arc::clone(&shared), inj_rx, Clock::Virtual(0));
+            Fabric {
+                shared,
+                wire: None,
+                manual: Some(Mutex::new(core)),
+            }
+        } else {
+            let core = WireCore::new(Arc::clone(&shared), inj_rx, Clock::Wall(Instant::now()));
+            let wire = std::thread::Builder::new()
+                .name("lci-fabric-wire".into())
+                .spawn(move || core.run())
+                .expect("spawn wire thread");
+            Fabric {
+                shared,
+                wire: Some(wire),
+                manual: None,
+            }
         }
     }
 
@@ -104,6 +174,51 @@ impl Fabric {
     /// The configuration this fabric was built with.
     pub fn config(&self) -> &FabricConfig {
         &self.shared.config
+    }
+
+    /// Is this a manual (caller-stepped, deterministic) fabric?
+    pub fn is_manual(&self) -> bool {
+        self.manual.is_some()
+    }
+
+    /// Manual mode only: execute the next wire event (one delivery, one
+    /// forced retry, or one reorder release), advancing the virtual clock
+    /// to its scheduled time. Returns `false` when nothing is pending.
+    ///
+    /// # Panics
+    /// Panics on a fabric built with [`Fabric::new`].
+    pub fn step(&self) -> bool {
+        self.manual
+            .as_ref()
+            .expect("Fabric::step requires a fabric built with Fabric::new_manual")
+            .lock()
+            .step()
+    }
+
+    /// Manual mode only: [`Fabric::step`] until the wire is idle, returning
+    /// the number of events executed. Note that a fault plan with an
+    /// unbounded RNR-storm phase plus `rnr_retry_limit == u32::MAX` retries
+    /// forever and would never drain.
+    ///
+    /// # Panics
+    /// Panics on a fabric built with [`Fabric::new`].
+    pub fn drain(&self) -> usize {
+        let mut core = self
+            .manual
+            .as_ref()
+            .expect("Fabric::drain requires a fabric built with Fabric::new_manual")
+            .lock();
+        let mut n = 0;
+        while core.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Current simulated time: `Some(virtual_ns)` in manual mode, `None`
+    /// in threaded mode (where simulated time tracks the wall clock).
+    pub fn sim_time_ns(&self) -> Option<u64> {
+        self.manual.as_ref().map(|m| m.lock().now_ns())
     }
 }
 
@@ -140,41 +255,76 @@ impl Ord for Scheduled {
     }
 }
 
-struct WireThread {
+/// How the wire observes simulated time.
+enum Clock {
+    /// Simulated time is wall-clock time since fabric construction.
+    Wall(Instant),
+    /// Simulated time advances only when the caller steps the wire.
+    Virtual(u64),
+}
+
+/// The wire state machine, shared by the threaded and manual modes.
+struct WireCore {
     shared: Arc<FabricShared>,
     rx: Receiver<WireOp>,
     heap: BinaryHeap<Reverse<Scheduled>>,
     link_free: Vec<u64>,
-    start: Instant,
+    clock: Clock,
     seq: u64,
     rng: SmallRng,
+    /// Deliveries held back by an active reorder phase.
+    reorder_buf: Vec<WireOp>,
 }
 
-impl WireThread {
-    fn new(shared: Arc<FabricShared>, rx: Receiver<WireOp>) -> Self {
+impl WireCore {
+    fn new(shared: Arc<FabricShared>, rx: Receiver<WireOp>, clock: Clock) -> Self {
         let n = shared.endpoints.len();
         let seed = shared.config.seed;
-        WireThread {
+        WireCore {
             shared,
             rx,
             heap: BinaryHeap::new(),
             link_free: vec![0; n],
-            start: Instant::now(),
+            clock,
             seq: 0,
             rng: SmallRng::seed_from_u64(seed),
+            reorder_buf: Vec::new(),
         }
     }
 
     fn now_ns(&self) -> u64 {
-        self.start.elapsed().as_nanos() as u64
+        match &self.clock {
+            Clock::Wall(start) => start.elapsed().as_nanos() as u64,
+            Clock::Virtual(t) => *t,
+        }
+    }
+
+    /// Jump the virtual clock forward to `at` (no-op on a wall clock, which
+    /// advances on its own).
+    fn advance_to(&mut self, at: u64) {
+        if let Clock::Virtual(t) = &mut self.clock {
+            *t = (*t).max(at);
+        }
     }
 
     fn scaled(&self, ns: f64) -> u64 {
         (ns * self.shared.config.time_scale) as u64
     }
 
+    /// Publish the currently effective brownout depth so endpoint admission
+    /// sees phase transitions without the wire touching every injector.
+    fn sync_brownout(&self) {
+        let plan = &self.shared.config.fault_plan;
+        if plan.is_empty() {
+            return;
+        }
+        let depth = plan.brownout_at(self.now_ns()).unwrap_or(usize::MAX);
+        self.shared.brownout_depth.store(depth, Ordering::Relaxed);
+    }
+
     /// Compute the delivery time of a freshly injected operation, charging
-    /// the sender's NIC serialization (which bounds injection rate).
+    /// the sender's NIC serialization (which bounds injection rate) plus any
+    /// active latency-spike fault.
     fn schedule(&mut self, op: WireOp) {
         let (src, len, is_put) = match &op {
             WireOp::Send { src, data, .. } => (*src as usize, data.len(), false),
@@ -192,9 +342,27 @@ impl WireThread {
             0
         };
         let extra = if is_put { wire.put_extra_ns } else { 0 };
+        // Latency-spike fault: applied unscaled so spikes bite even on
+        // instant (time_scale 0) test wires.
+        let spike = match self.shared.config.fault_plan.spike_at(now) {
+            Some((extra_ns, jitter_ns)) => {
+                self.shared.endpoints[src]
+                    .stats
+                    .fault_delayed
+                    .fetch_add(1, Ordering::Relaxed);
+                let j = if jitter_ns > 0 {
+                    self.rng.gen_range(0..jitter_ns)
+                } else {
+                    0
+                };
+                extra_ns + j
+            }
+            None => 0,
+        };
         let at = start
             + tx_cost
-            + self.scaled((wire.base_latency_ns + jitter + extra) as f64);
+            + self.scaled((wire.base_latency_ns + jitter + extra) as f64)
+            + spike;
         self.push(at, op);
     }
 
@@ -204,15 +372,111 @@ impl WireThread {
         self.heap.push(Reverse(Scheduled { at, seq, op }));
     }
 
+    /// Move everything already injected into the schedule. Returns `true`
+    /// if a shutdown request was seen.
+    fn drain_injected(&mut self) -> bool {
+        let mut shutdown = false;
+        loop {
+            match self.rx.try_recv() {
+                Ok(WireOp::Shutdown) => shutdown = true,
+                Ok(op) => self.schedule(op),
+                Err(_) => break,
+            }
+        }
+        shutdown
+    }
+
+    /// An operation has reached its delivery slot: hand it to the
+    /// destination, or hold it back if a reorder phase is active.
+    fn arrive(&mut self, op: WireOp) {
+        if matches!(op, WireOp::Shutdown) {
+            return;
+        }
+        let now = self.now_ns();
+        match self.shared.config.fault_plan.reorder_at(now) {
+            Some(window) => {
+                if let Some(dst) = op.dst() {
+                    self.shared.endpoints[dst]
+                        .stats
+                        .fault_reordered
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                self.reorder_buf.push(op);
+                if self.reorder_buf.len() >= window.max(2) {
+                    self.release_one_held();
+                }
+            }
+            None => {
+                // The phase this buffer belonged to is over: release held
+                // deliveries before anything newer.
+                self.release_all_held();
+                self.deliver(op);
+            }
+        }
+    }
+
+    /// Deliver one reorder-held operation, picked uniformly at random from
+    /// the seeded RNG. Returns `false` when nothing is held.
+    fn release_one_held(&mut self) -> bool {
+        if self.reorder_buf.is_empty() {
+            return false;
+        }
+        let i = if self.reorder_buf.len() == 1 {
+            0
+        } else {
+            self.rng.gen_range(0..self.reorder_buf.len())
+        };
+        let op = self.reorder_buf.swap_remove(i);
+        self.deliver(op);
+        true
+    }
+
+    fn release_all_held(&mut self) {
+        while self.release_one_held() {}
+    }
+
+    /// Manual mode: execute one wire event. Returns `false` when idle.
+    fn step(&mut self) -> bool {
+        self.drain_injected();
+        self.sync_brownout();
+        // A closed reorder window releases its held deliveries before any
+        // newer traffic runs.
+        if !self.reorder_buf.is_empty()
+            && self.shared.config.fault_plan.reorder_at(self.now_ns()).is_none()
+        {
+            let released = self.release_one_held();
+            self.sync_brownout();
+            return released;
+        }
+        match self.heap.pop() {
+            Some(Reverse(s)) => {
+                self.advance_to(s.at);
+                self.sync_brownout();
+                self.arrive(s.op);
+                true
+            }
+            None => {
+                // Idle wire with deliveries still held mid-phase: release
+                // one so a frozen virtual clock cannot starve receivers.
+                let released = self.release_one_held();
+                self.sync_brownout();
+                released
+            }
+        }
+    }
+
+    /// Threaded mode: the wire-thread main loop.
     fn run(mut self) {
         loop {
-            // Pick up everything already injected.
-            loop {
-                match self.rx.try_recv() {
-                    Ok(WireOp::Shutdown) => return,
-                    Ok(op) => self.schedule(op),
-                    Err(_) => break,
-                }
+            if self.drain_injected() {
+                self.release_all_held();
+                return;
+            }
+            self.sync_brownout();
+            if !self.reorder_buf.is_empty()
+                && self.shared.config.fault_plan.reorder_at(self.now_ns()).is_none()
+            {
+                self.release_all_held();
             }
 
             match self.heap.peek() {
@@ -220,7 +484,7 @@ impl WireThread {
                     let now = self.now_ns();
                     if head.at <= now {
                         let Reverse(s) = self.heap.pop().expect("peeked");
-                        self.deliver(s.op);
+                        self.arrive(s.op);
                     } else {
                         let wait = head.at - now;
                         if wait > 200_000 {
@@ -228,7 +492,10 @@ impl WireThread {
                             // injections wake us immediately.
                             let d = Duration::from_nanos(wait.min(1_000_000));
                             match self.rx.recv_timeout(d) {
-                                Ok(WireOp::Shutdown) => return,
+                                Ok(WireOp::Shutdown) => {
+                                    self.release_all_held();
+                                    return;
+                                }
                                 Ok(op) => self.schedule(op),
                                 Err(RecvTimeoutError::Timeout) => {}
                                 Err(RecvTimeoutError::Disconnected) => return,
@@ -245,9 +512,19 @@ impl WireThread {
                     }
                 }
                 None => match self.rx.recv_timeout(Duration::from_millis(1)) {
-                    Ok(WireOp::Shutdown) => return,
+                    Ok(WireOp::Shutdown) => {
+                        self.release_all_held();
+                        return;
+                    }
                     Ok(op) => self.schedule(op),
-                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Idle wire with deliveries still held mid-phase:
+                        // release one so a reorder window that never fills
+                        // (e.g. the tail of a run under a long-lived phase)
+                        // cannot strand its last few messages. Mirrors the
+                        // manual-mode idle rule in `step`.
+                        self.release_one_held();
+                    }
                     Err(RecvTimeoutError::Disconnected) => return,
                 },
             }
@@ -266,9 +543,20 @@ impl WireThread {
             } => {
                 let d = Arc::clone(&self.shared.endpoints[dst as usize]);
                 let s = Arc::clone(&self.shared.endpoints[src as usize]);
+                // An active RNR storm against `dst` bounces the delivery as
+                // if its receive buffers were exhausted, regardless of the
+                // actual credit count.
+                let stormed = self
+                    .shared
+                    .config
+                    .fault_plan
+                    .rnr_storm_at(self.now_ns(), dst);
+                if stormed {
+                    d.stats.fault_forced_rnr.fetch_add(1, Ordering::Relaxed);
+                }
                 // Consume a receive credit; only this thread decrements, so a
                 // check-then-sub is race-free against concurrent returns.
-                if d.rx_credits.load(Ordering::Acquire) > 0 {
+                if !stormed && d.rx_credits.load(Ordering::Acquire) > 0 {
                     d.rx_credits.fetch_sub(1, Ordering::AcqRel);
                     let guard = CreditGuard::new(Arc::clone(&d));
                     d.stats.recvs.fetch_add(1, Ordering::Relaxed);
@@ -359,7 +647,7 @@ impl WireThread {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::WireModel;
+    use crate::config::{Fault, FaultPlan, WireModel};
 
     #[test]
     fn scheduled_orders_by_time_then_seq() {
@@ -386,6 +674,7 @@ mod tests {
         let f = Fabric::new(FabricConfig::test(4));
         assert_eq!(f.num_hosts(), 4);
         assert_eq!(f.endpoints().len(), 4);
+        assert!(!f.is_manual());
         drop(f);
     }
 
@@ -422,5 +711,53 @@ mod tests {
             dt >= Duration::from_micros(450),
             "message arrived too early: {dt:?}"
         );
+    }
+
+    #[test]
+    fn manual_fabric_steps_on_a_virtual_clock() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 1));
+        assert!(f.is_manual());
+        assert_eq!(f.sim_time_ns(), Some(0));
+        assert!(!f.step(), "empty wire has nothing to step");
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        a.try_send(1, 7, b"x", 0).unwrap();
+        assert!(f.step());
+        let t = f.sim_time_ns().unwrap();
+        assert!(
+            t >= f.config().wire.base_latency_ns,
+            "virtual clock should jump past the wire latency, got {t}"
+        );
+        match b.poll() {
+            Some(Event::Recv { header, .. }) => assert_eq!(header, 7),
+            other => panic!("expected recv, got {other:?}"),
+        }
+        assert_eq!(f.drain(), 0);
+    }
+
+    #[test]
+    fn latency_spike_fault_delays_delivery() {
+        let plan = FaultPlan::none().with_phase(
+            0,
+            u64::MAX / 2,
+            Fault::LatencySpike {
+                extra_ns: 1_000_000,
+                jitter_ns: 0,
+            },
+        );
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 1).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        a.try_send(1, 1, b"x", 0).unwrap();
+        f.drain();
+        let t = f.sim_time_ns().unwrap();
+        assert!(t >= 1_000_000, "spike not applied: clock at {t}");
+        assert_eq!(a.stats().fault_delayed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_is_rejected_at_construction() {
+        let plan = FaultPlan::none().with_phase(0, 10, Fault::RnrStorm { target: 9 });
+        let _ = Fabric::new(FabricConfig::test(2).with_fault_plan(plan));
     }
 }

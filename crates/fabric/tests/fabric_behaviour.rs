@@ -371,3 +371,35 @@ fn peers_of_failed_host_hit_rnr_once_buffers_fill() {
     }
     assert!(fatal, "sender must eventually observe the dead peer");
 }
+
+#[test]
+fn threaded_reorder_phase_never_strands_the_tail() {
+    // A reorder window bigger than the number of in-flight messages can
+    // only fill partially; the wire's idle rule must still flush the held
+    // tail instead of waiting forever for traffic that never comes. This
+    // is what lets equivalence suites run whole algorithms under a
+    // phase that spans the entire run.
+    use lci_fabric::{Fault, FaultPlan};
+    let plan = FaultPlan::none().with_phase(0, u64::MAX / 2, Fault::Reorder { window: 8 });
+    let f = Fabric::new(FabricConfig::test(2).with_seed(99).with_fault_plan(plan));
+    let a = f.endpoint(0);
+    let b = f.endpoint(1);
+    // 3 messages < window 8: without the idle release they would be held
+    // until shutdown and the poll below would time out.
+    for i in 0..3u64 {
+        a.try_send(1, i << 8, &i.to_le_bytes(), i).unwrap();
+    }
+    let mut got = 0usize;
+    poll_until(
+        || {
+            while let Some(ev) = b.poll() {
+                if matches!(ev, Event::Recv { .. }) {
+                    got += 1;
+                }
+            }
+            got == 3
+        },
+        "reorder-held tail",
+    );
+    assert!(b.stats().fault_reordered > 0, "phase never engaged");
+}

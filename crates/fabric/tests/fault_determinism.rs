@@ -1,0 +1,204 @@
+//! Determinism guarantees of the fault-injection layer.
+//!
+//! The contract under test: the entire chaos schedule is a pure function of
+//! `(FabricConfig::seed, FaultPlan)`. Two manual-mode fabrics built from the
+//! same pair must produce bit-identical delivery orders and bit-identical
+//! [`StatsSnapshot`]s — that is what makes a failing chaos schedule
+//! replayable from a single logged seed.
+
+use lci_fabric::{Event, Fabric, FabricConfig, Fault, FaultPlan, StatsSnapshot};
+
+/// Run a fixed workload on a manual (virtual-clock) fabric and return the
+/// observed delivery transcript plus per-endpoint stats.
+///
+/// Workload: host 0 sends `n` tagged messages to host 1, draining the wire
+/// and both endpoints' event queues between sends often enough that reorder
+/// buffers and RNR requeues all get exercised.
+fn run_transcript(
+    cfg: FabricConfig,
+    n: u64,
+) -> (Vec<String>, Vec<StatsSnapshot>) {
+    let f = Fabric::new_manual(cfg);
+    let a = f.endpoint(0);
+    let b = f.endpoint(1);
+    let mut transcript = Vec::new();
+    let mut sent = 0u64;
+    let mut recvd = 0u64;
+    let mut done = 0u64;
+    let mut guard = 0u32;
+    while recvd < n || done < n {
+        guard += 1;
+        assert!(guard < 1_000_000, "workload wedged: recvd={recvd} done={done}");
+        if sent < n {
+            // Keep a few messages in flight; back off on pressure and let
+            // the wire make progress.
+            match a.try_send(1, sent << 8, &sent.to_le_bytes(), sent) {
+                Ok(()) => sent += 1,
+                Err(e) if e.is_retryable() => {}
+                Err(e) => panic!("unexpected send error: {e}"),
+            }
+        }
+        f.step();
+        while let Some(ev) = a.poll() {
+            if let Event::SendDone { ctx } = ev {
+                transcript.push(format!("done:{ctx}"));
+                done += 1;
+            }
+        }
+        while let Some(ev) = b.poll() {
+            if let Event::Recv { src, header, data } = ev {
+                transcript.push(format!("recv:{src}:{header}:{}", data.len()));
+                recvd += 1;
+            }
+        }
+    }
+    f.drain();
+    (transcript, vec![a.stats(), b.stats()])
+}
+
+fn chaotic_config(seed: u64) -> FabricConfig {
+    // Every fault kind in one plan, phases overlapping mid-run.
+    let plan = FaultPlan::none()
+        .with_phase(
+            0,
+            2_000_000,
+            Fault::LatencySpike {
+                extra_ns: 5_000,
+                jitter_ns: 3_000,
+            },
+        )
+        .with_phase(500_000, 2_000_000, Fault::Reorder { window: 4 })
+        .with_phase(1_000_000, 1_500_000, Fault::RnrStorm { target: 1 })
+        .with_phase(200_000, 3_000_000, Fault::Brownout { max_inflight: 2 });
+    FabricConfig::deterministic(2, seed)
+        .with_rnr_retry_limit(u32::MAX)
+        .with_fault_plan(plan)
+}
+
+#[test]
+fn same_seed_same_plan_is_bit_identical() {
+    let (t1, s1) = run_transcript(chaotic_config(0xDEAD_BEEF), 64);
+    let (t2, s2) = run_transcript(chaotic_config(0xDEAD_BEEF), 64);
+    assert_eq!(t1, t2, "delivery transcripts diverged under identical seeds");
+    assert_eq!(s1, s2, "endpoint stats diverged under identical seeds");
+    // The plan actually did something: chaos counters are not all zero.
+    let events: u64 = s1.iter().map(|s| s.fault_events()).sum();
+    assert!(events > 0, "fault plan was active but recorded no events");
+}
+
+#[test]
+fn different_seed_diverges() {
+    // Reorder releases are drawn from the fabric RNG, so two seeds should
+    // (overwhelmingly) produce different delivery orders for the same plan.
+    // The phase starts at t=0 so the short workload is guaranteed inside it.
+    let plan = || FaultPlan::none().with_phase(0, u64::MAX / 2, Fault::Reorder { window: 4 });
+    let cfg = |seed| {
+        FabricConfig::deterministic(2, seed).with_fault_plan(plan())
+    };
+    let (t1, _) = run_transcript(cfg(1), 64);
+    let (t2, _) = run_transcript(cfg(2), 64);
+    assert_ne!(t1, t2, "distinct seeds produced identical chaos transcripts");
+}
+
+#[test]
+fn clean_plan_records_no_fault_events() {
+    let cfg = FabricConfig::deterministic(2, 7);
+    let (_, stats) = run_transcript(cfg, 32);
+    for s in &stats {
+        assert_eq!(s.fault_events(), 0);
+        assert_eq!(s.fault_delayed, 0);
+        assert_eq!(s.fault_reordered, 0);
+        assert_eq!(s.fault_forced_rnr, 0);
+        assert_eq!(s.fault_brownout_rejects, 0);
+    }
+}
+
+#[test]
+fn rnr_storm_bounces_then_recovers() {
+    // A storm against host 1 early in the run: deliveries are force-bounced
+    // (visible in fault_forced_rnr and the sender's rnr_retries) but with an
+    // unbounded retry limit every message still lands after the phase ends.
+    let plan = FaultPlan::none().with_phase(0, 300_000, Fault::RnrStorm { target: 1 });
+    let cfg = FabricConfig::deterministic(2, 42).with_fault_plan(plan);
+    let (transcript, stats) = run_transcript(cfg, 16);
+    let recvs = transcript.iter().filter(|l| l.starts_with("recv:")).count();
+    assert_eq!(recvs, 16, "all messages must land once the storm passes");
+    assert!(stats[1].fault_forced_rnr > 0, "storm never forced a bounce");
+    assert!(stats[0].rnr_retries > 0, "bounces must count as sender retries");
+    assert!(!lci_fabric::Fabric::new_manual(
+        FabricConfig::deterministic(2, 42)
+    )
+    .endpoint(0)
+    .is_failed());
+}
+
+#[test]
+fn brownout_shrinks_injection_window_then_recovers() {
+    // Depth 1 brownout for the first stretch of simulated time: a second
+    // in-flight send must be rejected during the phase, accepted after.
+    let plan = FaultPlan::none().with_phase(0, 1_000_000, Fault::Brownout { max_inflight: 1 });
+    let cfg = FabricConfig::deterministic(2, 3).with_fault_plan(plan);
+    let f = Fabric::new_manual(cfg);
+    let a = f.endpoint(0);
+    let b = f.endpoint(1);
+    a.try_send(1, 0, b"first", 1).expect("first send fits depth 1");
+    let second = a.try_send(1, 0, b"second", 2);
+    assert!(
+        matches!(second, Err(ref e) if e.is_retryable()),
+        "second in-flight send must hit brownout backpressure, got {second:?}"
+    );
+    let s = a.stats();
+    assert!(s.fault_brownout_rejects >= 1);
+    assert!(
+        s.backpressure >= s.fault_brownout_rejects,
+        "brownout rejects are a subset of backpressure"
+    );
+    // Run the clock past the phase. The virtual clock only advances on
+    // scheduled work, so feed ticks when the heap runs dry; drain the
+    // receiver so credits keep coming back.
+    let mut guard = 0u32;
+    while f.sim_time_ns().expect("manual fabric") < 1_000_000 {
+        guard += 1;
+        assert!(guard < 1_000_000, "virtual clock failed to advance");
+        if !f.step() {
+            // Queue idle: nothing left to move time forward except new work.
+            a.try_send(1, 0, b"tick", 99).ok();
+        }
+        while a.poll().is_some() {}
+        while b.poll().is_some() {}
+    }
+    // One more step so the wire re-syncs the brownout depth post-phase.
+    f.step();
+    let mut ok = false;
+    for i in 0..64 {
+        if a.try_send(1, 0, b"after", 100 + i).is_ok() {
+            ok = true;
+            break;
+        }
+        f.step();
+        while a.poll().is_some() {}
+        while b.poll().is_some() {}
+    }
+    assert!(ok, "injection window must recover after the brownout phase");
+}
+
+#[test]
+fn reorder_phase_shuffles_but_loses_nothing() {
+    let plan = FaultPlan::none().with_phase(0, 10_000_000, Fault::Reorder { window: 3 });
+    let cfg = FabricConfig::deterministic(2, 11).with_fault_plan(plan);
+    let (transcript, stats) = run_transcript(cfg, 48);
+    let recvs = transcript.iter().filter(|l| l.starts_with("recv:")).count();
+    assert_eq!(recvs, 48, "reorder must shuffle, never drop");
+    assert!(stats[1].fault_reordered > 0, "reorder phase never buffered");
+}
+
+#[test]
+fn chaos_plan_generator_is_deterministic_and_valid() {
+    let p1 = FaultPlan::chaos(123, 4, 10_000_000);
+    let p2 = FaultPlan::chaos(123, 4, 10_000_000);
+    assert_eq!(p1, p2);
+    assert!(p1.validate(4).is_ok());
+    assert_eq!(p1.phases.len(), 4);
+    let p3 = FaultPlan::chaos(124, 4, 10_000_000);
+    assert_ne!(p1, p3, "seed must steer the generated plan");
+}

@@ -307,6 +307,7 @@ fn host_main<A: App>(
     let book = layer.membook();
     metrics.mem_peak = book.peak();
     metrics.mem_total_allocated = book.total_allocated();
+    metrics.degradation = layer.degradation();
 
     let masters = (0..nm)
         .map(|l| {

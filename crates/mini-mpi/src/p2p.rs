@@ -264,6 +264,7 @@ struct CommInner {
     registry: Arc<WinRegistry>,
     outstanding_rma_puts: AtomicU64,
     win_counter: AtomicU64,
+    backpressure_spins: AtomicU64,
 }
 
 /// One host's MPI communicator (think `MPI_COMM_WORLD`). Cheap to clone.
@@ -289,6 +290,7 @@ impl MpiComm {
                 registry,
                 outstanding_rma_puts: AtomicU64::new(0),
                 win_counter: AtomicU64::new(0),
+                backpressure_spins: AtomicU64::new(0),
                 rank,
                 nranks,
                 cfg,
@@ -365,11 +367,21 @@ impl MpiComm {
         Ok(st)
     }
 
+    /// Total times an MPI call spun on NIC back-pressure (degradation
+    /// diagnostics — the MPI-side analogue of LCI's measured retries).
+    pub fn backpressure_spins(&self) -> u64 {
+        self.inner.backpressure_spins.load(Ordering::Relaxed)
+    }
+
     /// Send a control/eager wire message, retrying on back-pressure.
     ///
     /// Real MPI blocks internally in this situation (or dies — see §III-B);
     /// we spin until the NIC accepts, which is the benign variant. The
-    /// fabric can still fail us fatally via the RNR retry limit.
+    /// fabric can still fail us fatally via the RNR retry limit — which is
+    /// exactly how an RNR-storm fault phase kills an MPI run while the LCI
+    /// runtime (retryable initiation, no fatal exhaustion path) rides it
+    /// out. That asymmetry is deliberate: it preserves the paper's §III-B
+    /// contrast under the chaos test suite.
     pub(crate) fn wire_send(
         &self,
         st: &mut State,
@@ -384,6 +396,7 @@ impl MpiComm {
                 Err(SendError::Backpressure) => {
                     // Drain our own completions while waiting, or we can
                     // deadlock with a peer doing the same.
+                    self.inner.backpressure_spins.fetch_add(1, Ordering::Relaxed);
                     self.progress_locked(st);
                     std::thread::yield_now();
                 }

@@ -1,14 +1,33 @@
 //! Stress and failure-injection tests across crates: resource exhaustion,
-//! tiny pools, hostile fabric configurations, and sustained many-round runs.
+//! tiny pools, hostile fabric configurations, sustained many-round runs, and
+//! chaos schedules driven by the fabric's deterministic fault layer.
+//!
+//! Every fabric in this file is seeded from [`fabric_seed`]; a failure
+//! prints the seed, and `FABRIC_SEED=<n> cargo test --test stress` replays
+//! the exact wire schedule (jitter, reorder picks, fault phases included).
 
 use abelian::apps::{reference, Bfs, Cc};
 use abelian::{build_layers, run_app, EngineConfig, LayerKind};
 use bytes::Bytes;
 use lci::{LciConfig, LciWorld};
-use lci_fabric::FabricConfig;
+use lci_fabric::{FabricConfig, Fault, FaultPlan};
 use lci_graph::{gen, partition, Policy};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The fabric seed for this process: `FABRIC_SEED` env var, or a fixed
+/// default. Printed on first use so any failing run is replayable.
+fn fabric_seed() -> u64 {
+    static ANNOUNCE: std::sync::Once = std::sync::Once::new();
+    let seed = std::env::var("FABRIC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    ANNOUNCE.call_once(|| {
+        eprintln!("stress suite fabric seed: {seed} (replay with FABRIC_SEED={seed})");
+    });
+    seed
+}
 
 /// LCI under a starved fabric: injection depth 2 and 8 receive buffers.
 /// Everything still completes (slowly) because every failure is retryable.
@@ -16,7 +35,8 @@ use std::time::{Duration, Instant};
 fn lci_survives_starved_fabric() {
     let mut fcfg = FabricConfig::test(2)
         .with_injection_depth(2)
-        .with_rx_buffers(8);
+        .with_rx_buffers(8)
+        .with_seed(fabric_seed());
     fcfg.rnr_delay_ns = 1_000;
     fcfg.time_scale = 1.0;
     let lcfg = LciConfig::default().with_packet_count(4);
@@ -57,7 +77,9 @@ fn engine_on_hostile_fabric() {
     let g = gen::rmat(8, 6, 33);
     let parts = partition(&g, 3, Policy::VertexCutCartesian);
     let expect = reference::bfs(&g, 0);
-    let mut fcfg = FabricConfig::stampede2(3).with_injection_depth(8);
+    let mut fcfg = FabricConfig::stampede2(3)
+        .with_injection_depth(8)
+        .with_seed(fabric_seed());
     fcfg.wire.jitter_ns = 2_000; // heavy jitter: reordering everywhere
     let (layers, _world) = build_layers(
         LayerKind::Lci,
@@ -84,7 +106,7 @@ fn long_haul_many_rounds() {
     for kind in LayerKind::all() {
         let (layers, _world) = build_layers(
             kind,
-            FabricConfig::test(2),
+            FabricConfig::test(2).with_seed(fabric_seed()),
             mini_mpi::MpiConfig::default()
                 .with_personality(mini_mpi::Personality::zero()),
             lci::LciConfig::for_hosts(2),
@@ -110,7 +132,7 @@ fn dense_all_pairs_traffic() {
     for kind in LayerKind::all() {
         let (layers, _world) = build_layers(
             kind,
-            FabricConfig::test(4),
+            FabricConfig::test(4).with_seed(fabric_seed()),
             mini_mpi::MpiConfig::default(),
             lci::LciConfig::for_hosts(4),
         );
@@ -127,7 +149,7 @@ fn degenerate_graphs() {
     let parts = partition(&g, 2, Policy::EdgeCutBlocked);
     let (layers, _world) = build_layers(
         LayerKind::Lci,
-        FabricConfig::test(2),
+        FabricConfig::test(2).with_seed(fabric_seed()),
         mini_mpi::MpiConfig::default(),
         lci::LciConfig::for_hosts(2),
     );
@@ -144,7 +166,7 @@ fn degenerate_graphs() {
     let parts = partition(&g, 4, Policy::VertexCutCartesian);
     let (layers, _world) = build_layers(
         LayerKind::MpiRma,
-        FabricConfig::test(4),
+        FabricConfig::test(4).with_seed(fabric_seed()),
         mini_mpi::MpiConfig::default(),
         lci::LciConfig::for_hosts(4),
     );
@@ -163,7 +185,7 @@ fn concurrent_worlds_do_not_interfere() {
                 let parts = partition(&g, 2, Policy::EdgeCutBlocked);
                 let (layers, _world) = build_layers(
                     LayerKind::Lci,
-                    FabricConfig::test(2),
+                    FabricConfig::test(2).with_seed(fabric_seed().wrapping_add(i as u64)),
                     mini_mpi::MpiConfig::default(),
                     lci::LciConfig::for_hosts(2),
                 );
@@ -180,4 +202,163 @@ fn concurrent_worlds_do_not_interfere() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+/// The headline chaos scenario: an RNR storm stalls the receiver's credits
+/// for 20 ms while an injection brownout shrinks the sender's effective
+/// depth to 1. LCI — retryable initiation plus an unbounded NIC retry
+/// limit — rides it out and delivers everything; the degradation is visible
+/// in the fault counters rather than in the results.
+#[test]
+fn lci_survives_rnr_storm_and_brownout() {
+    // Seconds-long phases: generous against wall-clock skew when the whole
+    // suite runs in parallel on a loaded machine.
+    let plan = FaultPlan::none()
+        .with_phase(0, 2_000_000_000, Fault::RnrStorm { target: 1 })
+        .with_phase(0, 1_500_000_000, Fault::Brownout { max_inflight: 1 });
+    let mut fcfg = FabricConfig::test(2)
+        .with_time_scale(1.0)
+        .with_rnr_retry_limit(u32::MAX)
+        .with_seed(fabric_seed())
+        .with_fault_plan(plan);
+    fcfg.rnr_delay_ns = 200_000;
+    let w = LciWorld::new(fcfg, LciConfig::default());
+    let a = w.device(0);
+    let b = w.device(1);
+    const N: usize = 100;
+    let recv = std::thread::spawn(move || {
+        let mut got = 0;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while got < N {
+            if let Some(r) = b.recv_deq() {
+                assert!(r.is_done());
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+            assert!(Instant::now() < deadline, "chaos starved LCI at {got}/{N}");
+        }
+    });
+    for i in 0..N {
+        a.send_enq_backoff(Bytes::from(vec![i as u8; 32]), 1, i as u32)
+            .expect("LCI must absorb the storm, not die");
+    }
+    recv.join().unwrap();
+    assert!(!a.is_failed(), "LCI endpoint must survive the chaos plan");
+    let sender = a.endpoint().stats();
+    let receiver = w.device(1).endpoint().stats();
+    assert!(
+        receiver.fault_forced_rnr > 0,
+        "storm phase never forced a bounce: {receiver:?}"
+    );
+    assert!(
+        sender.fault_brownout_rejects > 0,
+        "brownout phase never rejected an injection: {sender:?}"
+    );
+    assert!(sender.rnr_retries > 0, "bounces must surface as NIC retries");
+}
+
+/// The paper's §III-B contrast, reproduced under the same storm: mini-mpi
+/// configured like a real InfiniBand deployment (finite rnr_retry) has no
+/// recovery path once the NIC gives up — the communicator dies fatally on
+/// the exact fault plan the LCI run above survives.
+#[test]
+fn mini_mpi_aborts_under_rnr_storm() {
+    // Seconds-long phases: generous against wall-clock skew when the whole
+    // suite runs in parallel on a loaded machine.
+    let plan = FaultPlan::none()
+        .with_phase(0, 2_000_000_000, Fault::RnrStorm { target: 1 })
+        .with_phase(0, 1_500_000_000, Fault::Brownout { max_inflight: 1 });
+    let mut fcfg = FabricConfig::test(2)
+        .with_time_scale(1.0)
+        .with_rnr_retry_limit(8) // ib-like finite rnr_retry
+        .with_seed(fabric_seed())
+        .with_fault_plan(plan);
+    fcfg.rnr_delay_ns = 200_000;
+    let w = mini_mpi::MpiWorld::new(fcfg, mini_mpi::MpiConfig::default());
+    let comms = w.comms();
+    let sender = &comms[0];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut pending = Vec::new();
+    let mut fatal = false;
+    let mut i = 0u32;
+    while !fatal {
+        assert!(
+            Instant::now() < deadline,
+            "MPI should have died under the storm by now"
+        );
+        match sender.isend(Bytes::from(vec![0u8; 32]), 1, i % 1_000) {
+            Ok(req) => pending.push(req),
+            Err(mini_mpi::MpiError::Fatal(_)) => fatal = true,
+            Err(e) => panic!("unexpected MPI error: {e}"),
+        }
+        i += 1;
+        pending.retain(|req| match sender.test_send(req) {
+            Ok(done) => !done,
+            Err(mini_mpi::MpiError::Fatal(_)) => {
+                fatal = true;
+                false
+            }
+            Err(e) => panic!("unexpected MPI error: {e}"),
+        });
+    }
+    // Poisoned permanently: even a fresh call fails.
+    assert!(matches!(
+        sender.isend(Bytes::from_static(b"post"), 1, 0),
+        Err(mini_mpi::MpiError::Fatal(_))
+    ));
+}
+
+/// Same seed + same plan ⇒ the full chaos schedule replays bit-for-bit at
+/// the device level: identical arrival tag order and identical endpoint
+/// stats across two independent manual-clock runs.
+#[test]
+fn chaos_schedule_replays_bit_for_bit() {
+    fn run_once(seed: u64) -> (Vec<u32>, lci_fabric::StatsSnapshot, lci_fabric::StatsSnapshot) {
+        let plan = FaultPlan::none()
+            .with_phase(0, u64::MAX / 2, Fault::Reorder { window: 4 })
+            .with_phase(
+                0,
+                2_000_000,
+                Fault::LatencySpike {
+                    extra_ns: 3_000,
+                    jitter_ns: 2_000,
+                },
+            );
+        let fcfg = lci_fabric::FabricConfig::deterministic(2, seed).with_fault_plan(plan);
+        let f = lci_fabric::Fabric::new_manual(fcfg);
+        let a = lci::Device::new(f.endpoint(0), LciConfig::default());
+        let b = lci::Device::new(f.endpoint(1), LciConfig::default());
+        const N: u32 = 48;
+        let mut tags = Vec::new();
+        let mut sent = 0u32;
+        let mut guard = 0u32;
+        while tags.len() < N as usize {
+            guard += 1;
+            assert!(guard < 1_000_000, "replay workload wedged");
+            if sent < N {
+                match a.send_enq(Bytes::from(vec![sent as u8; 16]), 1, sent) {
+                    Ok(_) => sent += 1,
+                    Err(e) if e.is_retryable() => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            f.step();
+            a.progress();
+            b.progress();
+            while let Some(r) = b.recv_deq() {
+                tags.push(r.tag());
+            }
+        }
+        f.drain();
+        (tags, a.endpoint().stats(), b.endpoint().stats())
+    }
+
+    let seed = fabric_seed();
+    let (t1, a1, b1) = run_once(seed);
+    let (t2, a2, b2) = run_once(seed);
+    assert_eq!(t1, t2, "replay produced a different arrival order");
+    assert_eq!(a1, a2, "sender stats diverged between identical runs");
+    assert_eq!(b1, b2, "receiver stats diverged between identical runs");
+    assert!(b1.fault_reordered > 0, "reorder phase never engaged");
 }
