@@ -19,6 +19,7 @@ use crate::comm::{channels, ChannelSpec, CommLayer};
 use crate::label::{Label, LabelVec};
 use crate::metrics::{HostMetrics, RoundMetrics};
 use lci_graph::{DistGraph, Partitioning, Policy, Vid};
+use lci_trace::{record, Counter, EventKind, Span};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -246,8 +247,10 @@ fn host_main<A: App>(
 
     loop {
         let round_start = Instant::now();
+        record(EventKind::RoundBegin, me as u32, round as u64);
 
         // ---- fire phase (computation) -----------------------------------
+        let fire_span = Span::enter(Counter::PhaseComputeNs);
         let fire_list: Vec<u32> = (0..nm as u32)
             .filter(|&l| changed[l as usize].swap(false, Ordering::AcqRel))
             .collect();
@@ -289,8 +292,10 @@ fn host_main<A: App>(
             fire_list.iter().for_each(|&u| fire_one(u));
         }
         let compute = round_start.elapsed();
+        fire_span.finish();
 
         // ---- reduce phase: changed mirrors → masters ---------------------
+        let reduce_span = Span::enter(Counter::PhaseReduceNs);
         let mut sent_entries = 0u64;
         let mut sent_bytes = 0u64;
         layer.begin(channels::REDUCE);
@@ -332,9 +337,11 @@ fn host_main<A: App>(
                 None => std::thread::yield_now(),
             }
         }
+        reduce_span.finish();
 
         // ---- broadcast phase: firing masters' emissions → mirrors --------
         if do_broadcast {
+            let bcast_span = Span::enter(Counter::PhaseBroadcastNs);
             layer.begin(channels::BROADCAST);
             for t in 0..p as u16 {
                 if t == me {
@@ -377,12 +384,14 @@ fn host_main<A: App>(
                     None => std::thread::yield_now(),
                 }
             }
+            bcast_span.finish();
         }
         for &u in &fire_list {
             fired[u as usize].store(false, Ordering::Relaxed);
         }
 
         // ---- control: global active count --------------------------------
+        let control_span = Span::enter(Counter::PhaseControlNs);
         let local_active: u64 = (0..nl)
             .filter(|&l| {
                 changed[l].load(Ordering::Acquire)
@@ -410,7 +419,13 @@ fn host_main<A: App>(
             }
         }
 
+        control_span.finish();
+
         let wall = round_start.elapsed();
+        lci_trace::incr(Counter::EngineRounds);
+        lci_trace::add(Counter::EngineSentEntries, sent_entries);
+        lci_trace::add(Counter::EngineSentBytes, sent_bytes);
+        record(EventKind::RoundEnd, me as u32, round as u64);
         metrics.rounds.push(RoundMetrics {
             compute,
             comm: wall.saturating_sub(compute),
@@ -427,6 +442,14 @@ fn host_main<A: App>(
     metrics.mem_peak = book.peak();
     metrics.mem_total_allocated = book.total_allocated();
     metrics.degradation = layer.degradation();
+    lci_trace::add(
+        Counter::EngineCommSendRetries,
+        metrics.degradation.send_retries,
+    );
+    lci_trace::add(
+        Counter::EngineCommRecvStalls,
+        metrics.degradation.recv_stalls,
+    );
 
     let masters = (0..nm)
         .map(|l| {

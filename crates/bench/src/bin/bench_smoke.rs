@@ -1,0 +1,118 @@
+//! `bench smoke` — the seconds-scale gated benchmark profile.
+//!
+//! Runs BFS and PageRank on a tiny RNG-free graph (complete-48, 2 simulated
+//! hosts, `test` fabric) over the LCI layer — no randomness anywhere, so the
+//! traffic counts in the baseline hold on any machine and toolchain. Writes
+//! `BENCH_smoke.json` (medians over `BENCH_TRIALS` trials, trace-derived
+//! per-phase breakdown, counter deltas), then diffs the gated metrics
+//! against the checked-in baseline and exits non-zero on any violation.
+//! This is what `./run_tests.sh bench-smoke` runs in the tier-1 gate.
+//!
+//! Env knobs:
+//! * `BENCH_TRIALS` — trials per app (default 3; medians are reported).
+//! * `BENCH_BASELINE` — baseline path (default
+//!   `crates/bench/baselines/BENCH_smoke.json`).
+//! * `BENCH_UPDATE_BASELINE=1` — rewrite the baseline from this run
+//!   instead of gating (use after an intentional perf change).
+//! * `BENCH_JSON_DIR` — where the fresh report lands (default `results`).
+//!
+//! Gate semantics live in the *baseline* file: each metric's `direction`
+//! and `tolerance` there decide what counts as a regression, so a
+//! regressing run cannot loosen its own gate.
+
+use abelian::LayerKind;
+use lci_bench::{emit, env_str, env_usize, median_timing, AppKind, Scenario};
+use lci_fabric::FabricConfig;
+use lci_graph::{gen, partition, Policy};
+use lci_trace::{compare, BenchReport, Counter, Direction};
+use std::path::Path;
+
+fn main() {
+    let trials = env_usize("BENCH_TRIALS", 3);
+    let baseline_path = env_str("BENCH_BASELINE", "crates/bench/baselines/BENCH_smoke.json");
+    let update = env_str("BENCH_UPDATE_BASELINE", "0") == "1";
+
+    // Deterministic by construction: a complete graph needs no RNG, so the
+    // per-app traffic volume is identical on every host environment.
+    let g = gen::complete(48);
+    let parts = partition(&g, 2, Policy::VertexCutCartesian);
+
+    let mut report = BenchReport::new("smoke");
+    report.trials = trials as u64;
+    report.config = vec![
+        ("graph".into(), "complete48".into()),
+        ("hosts".into(), "2".into()),
+        ("fabric".into(), "test".into()),
+        ("layer".into(), "lci".into()),
+    ];
+
+    println!("# bench smoke: complete48 @ 2 hosts, LCI layer, {trials} trials");
+    let section = emit::TraceSection::begin();
+    for app in [AppKind::Bfs, AppKind::PageRank] {
+        let per_app = emit::TraceSection::begin();
+        let mut sc = Scenario::new(&parts, LayerKind::Lci);
+        sc.fabric = FabricConfig::test(2);
+        let t = median_timing(trials, || sc.run_abelian(app));
+        let delta = per_app.end();
+        println!(
+            "  {:<9} median {:.2}ms over {} rounds",
+            app.name(),
+            t.total.as_secs_f64() * 1e3,
+            t.rounds
+        );
+        // Times get a wide band: the tier-1 gate must survive machine and
+        // load differences; it exists to catch order-of-magnitude rot.
+        emit::push_time_ms(&mut report, &format!("{}_median_ms", app.name()), t.total, 9.0);
+        // Round counts are deterministic for BFS; PageRank's convergence
+        // can drift a little with float reduction order, hence the band.
+        emit::push_count(
+            &mut report,
+            &format!("{}_rounds", app.name()),
+            t.rounds as u64,
+            Direction::Band,
+            0.25,
+        );
+        // Traffic volume over the measured section (all trials): gross
+        // protocol regressions (double-sends, lost batching) move this.
+        emit::push_count(
+            &mut report,
+            &format!("{}_sent_entries", app.name()),
+            delta.get(Counter::EngineSentEntries),
+            Direction::Band,
+            0.25,
+        );
+    }
+    let delta = section.end();
+    emit::attach_trace(&mut report, &delta);
+
+    if update {
+        let dir = Path::new(&baseline_path)
+            .parent()
+            .expect("baseline path needs a directory");
+        std::fs::create_dir_all(dir).expect("create baseline dir");
+        std::fs::write(&baseline_path, report.to_json().pretty()).expect("write baseline");
+        println!("baseline updated: {baseline_path}");
+        return;
+    }
+
+    emit::write(&report);
+
+    let baseline = match BenchReport::load(Path::new(&baseline_path)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench smoke: cannot load baseline: {e}");
+            eprintln!("  (regenerate with BENCH_UPDATE_BASELINE=1)");
+            std::process::exit(2);
+        }
+    };
+    let violations = compare(&baseline, &report);
+    if violations.is_empty() {
+        println!("bench smoke: OK ({} gated metrics within tolerance)", baseline.metrics.len());
+    } else {
+        eprintln!("bench smoke: {} regression(s) vs {baseline_path}:", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

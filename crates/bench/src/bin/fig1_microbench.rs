@@ -16,7 +16,7 @@
 
 use bytes::Bytes;
 use lci::{LciConfig, LciWorld};
-use lci_bench::{env_str, env_usize, fabric_by_name};
+use lci_bench::{emit, env_str, env_usize, fabric_by_name};
 use mini_mpi::{MpiConfig, MpiWorld, Personality};
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,15 @@ fn main() {
         "size", "no-probe", "probe", "queue", "r(no-p)", "r(probe)", "r(queue)"
     );
     println!("{}", "-".repeat(96));
+
+    let mut report = lci_trace::BenchReport::new("fig1");
+    report.trials = iters as u64;
+    report.config = vec![
+        ("fabric".into(), fabric.clone()),
+        ("iters".into(), iters.to_string()),
+        ("window".into(), window.to_string()),
+    ];
+    let section = emit::TraceSection::begin();
 
     for &size in SIZES {
         let lat_np = mpi_pingpong(&fabric, size, iters, false);
@@ -51,7 +60,23 @@ fn main() {
             rate_pr / 1e6,
             rate_q / 1e6,
         );
+        // Host-load-sensitive numbers: recorded for trending, never gated.
+        for (disc, lat, rate) in [
+            ("no_probe", lat_np, rate_np),
+            ("probe", lat_pr, rate_pr),
+            ("queue", lat_q, rate_q),
+        ] {
+            emit::push_info(
+                &mut report,
+                &format!("lat_{disc}_{size}b_us"),
+                "us",
+                lat.as_secs_f64() * 1e6,
+            );
+            emit::push_info(&mut report, &format!("rate_{disc}_{size}b_per_s"), "per_s", rate);
+        }
     }
+    emit::attach_trace(&mut report, &section.end());
+    emit::write(&report);
     println!("\nlatency = one-way (round-trip / 2); rate = windowed messages/second");
 }
 

@@ -10,13 +10,22 @@
 //! (default "2,4"), `FIG3_FABRIC` (default stampede2).
 
 use abelian::LayerKind;
-use lci_bench::{env_str, env_usize, fabric_by_name, graph_by_name, median_timing, partition_for, AppKind, Scenario};
+use lci_bench::{emit, env_str, env_usize, fabric_by_name, graph_by_name, median_timing, partition_for, AppKind, Scenario};
 
 fn main() {
     let graphs = env_str("FIG3_GRAPHS", "rmat13,kron13");
     let hosts_list = env_str("FIG3_HOSTS", "2,4");
     let fabric = env_str("FIG3_FABRIC", "stampede2");
     let trials = env_usize("BENCH_TRIALS", 3);
+
+    let mut report = lci_trace::BenchReport::new("fig3");
+    report.trials = trials as u64;
+    report.config = vec![
+        ("graphs".into(), graphs.clone()),
+        ("hosts".into(), hosts_list.clone()),
+        ("fabric".into(), fabric.clone()),
+    ];
+    let section = emit::TraceSection::begin();
 
     println!("# Figure 3 reproduction: Abelian total execution time (seconds)");
     println!(
@@ -46,6 +55,14 @@ fn main() {
                 geo_probe *= sp;
                 geo_rma *= sr;
                 n += 1;
+                for (layer, secs) in [("lci", lci_t), ("mpi_probe", probe_t), ("mpi_rma", rma_t)] {
+                    emit::push_info(
+                        &mut report,
+                        &format!("{gname}_{hosts}h_{}_{layer}_s", app.name()),
+                        "s",
+                        secs,
+                    );
+                }
                 println!(
                     "{:<10} {:<6} {:<9} | {:>10.3} {:>10.3} {:>10.3} | {:>7.2}x {:>7.2}x",
                     gname,
@@ -61,9 +78,13 @@ fn main() {
         }
     }
     println!("{}", "-".repeat(88));
+    let gp = geo_probe.powf(1.0 / n as f64);
+    let gr = geo_rma.powf(1.0 / n as f64);
     println!(
-        "geomean speedup of LCI: {:.2}x over MPI-Probe, {:.2}x over MPI-RMA (paper: 1.34x / 1.08x at 128 hosts)",
-        geo_probe.powf(1.0 / n as f64),
-        geo_rma.powf(1.0 / n as f64)
+        "geomean speedup of LCI: {gp:.2}x over MPI-Probe, {gr:.2}x over MPI-RMA (paper: 1.34x / 1.08x at 128 hosts)"
     );
+    emit::push_info(&mut report, "geomean_speedup_vs_probe", "x", gp);
+    emit::push_info(&mut report, "geomean_speedup_vs_rma", "x", gr);
+    emit::attach_trace(&mut report, &section.end());
+    emit::write(&report);
 }

@@ -9,7 +9,7 @@
 //! (default "2,4"), `FIG4_FABRIC` (default stampede2).
 
 use abelian::LayerKind;
-use lci_bench::{env_str, env_usize, fabric_by_name, graph_by_name, median_timing, partition_for, AppKind, Scenario};
+use lci_bench::{emit, env_str, env_usize, fabric_by_name, graph_by_name, median_timing, partition_for, AppKind, Scenario};
 use mini_mpi::ThreadLevel;
 
 fn main() {
@@ -17,6 +17,15 @@ fn main() {
     let hosts_list = env_str("FIG4_HOSTS", "2,4");
     let fabric = env_str("FIG4_FABRIC", "stampede2");
     let trials = env_usize("BENCH_TRIALS", 3);
+
+    let mut report = lci_trace::BenchReport::new("fig4");
+    report.trials = trials as u64;
+    report.config = vec![
+        ("graphs".into(), graphs.clone()),
+        ("hosts".into(), hosts_list.clone()),
+        ("fabric".into(), fabric.clone()),
+    ];
+    let section = emit::TraceSection::begin();
 
     println!("# Figure 4 reproduction: Gemini total execution time (seconds)");
     println!(
@@ -48,6 +57,14 @@ fn main() {
                 geo *= sp;
                 geo_comm *= sc_comm;
                 n += 1;
+                for (layer, t) in [("lci", &lci_t), ("mpi_probe", &probe_t)] {
+                    emit::push_info(
+                        &mut report,
+                        &format!("{gname}_{hosts}h_{}_{layer}_s", app.name()),
+                        "s",
+                        t.total.as_secs_f64(),
+                    );
+                }
                 println!(
                     "{:<10} {:<6} {:<9} | {:>10.3} {:>10.3} | {:>8.2}x | {:>10.3} {:>10.3} {:>8.2}x",
                     gname,
@@ -64,9 +81,11 @@ fn main() {
         }
     }
     println!("{}", "-".repeat(108));
-    println!(
-        "geomean: {:.2}x end-to-end, {:.2}x communication (paper: 1.64x / 2.0x at 128 hosts)",
-        geo.powf(1.0 / n as f64),
-        geo_comm.powf(1.0 / n as f64)
-    );
+    let ge = geo.powf(1.0 / n as f64);
+    let gc = geo_comm.powf(1.0 / n as f64);
+    println!("geomean: {ge:.2}x end-to-end, {gc:.2}x communication (paper: 1.64x / 2.0x at 128 hosts)");
+    emit::push_info(&mut report, "geomean_speedup_total", "x", ge);
+    emit::push_info(&mut report, "geomean_speedup_comm", "x", gc);
+    emit::attach_trace(&mut report, &section.end());
+    emit::write(&report);
 }

@@ -9,7 +9,7 @@
 //! Env knobs: `FIG5_GRAPH` (default kron13), `FIG5_HOSTS` (default 4).
 
 use abelian::LayerKind;
-use lci_bench::{env_str, env_usize, fmt_bytes, graph_by_name, median_timing, partition_for, AppKind, Scenario};
+use lci_bench::{emit, env_str, env_usize, fmt_bytes, graph_by_name, median_timing, partition_for, AppKind, Scenario};
 
 fn main() {
     let gname = env_str("FIG5_GRAPH", "kron13");
@@ -17,6 +17,14 @@ fn main() {
     let trials = env_usize("BENCH_TRIALS", 1);
     let g = graph_by_name(&gname);
     let parts = partition_for(&g, hosts, "abelian");
+
+    let mut report = lci_trace::BenchReport::new("fig5");
+    report.trials = trials as u64;
+    report.config = vec![
+        ("graph".into(), gname.clone()),
+        ("hosts".into(), hosts.to_string()),
+    ];
+    let section = emit::TraceSection::begin();
 
     println!("# Figure 5 reproduction: comm-buffer memory footprint, {gname} @ {hosts} hosts");
     println!(
@@ -31,6 +39,10 @@ fn main() {
         let sc2 = Scenario::new(&parts, LayerKind::MpiRma);
         let rma_t = median_timing(trials, || sc2.run_abelian(app));
         let ratio = rma_t.mem_min as f64 / lci_t.mem_max.max(1) as f64;
+        // Buffer peaks are deterministic per app; the ratio is the figure.
+        emit::push_info(&mut report, &format!("{}_lci_mem_max_b", app.name()), "bytes", lci_t.mem_max as f64);
+        emit::push_info(&mut report, &format!("{}_rma_mem_max_b", app.name()), "bytes", rma_t.mem_max as f64);
+        emit::push_info(&mut report, &format!("{}_mem_ratio", app.name()), "x", ratio);
         println!(
             "{:<9} | {:>12} {:>12} | {:>12} {:>12} | {:>7.1}x",
             app.name(),
@@ -41,5 +53,7 @@ fn main() {
             ratio
         );
     }
+    emit::attach_trace(&mut report, &section.end());
+    emit::write(&report);
     println!("\nratio = rma-min / lci-max (paper: up to ~10x; rma max≈min)");
 }

@@ -11,7 +11,8 @@
 //! `FIG6_FABRIC` (default stampede2).
 
 use abelian::LayerKind;
-use lci_bench::{env_str, env_usize, fabric_by_name, fmt_dur, graph_by_name, partition_for, AppKind, Scenario};
+use lci_bench::{emit, env_str, env_usize, fabric_by_name, fmt_dur, graph_by_name, partition_for, AppKind, Scenario};
+use lci_trace::Counter;
 
 fn main() {
     let gname = env_str("FIG6_GRAPH", "kron13");
@@ -27,11 +28,23 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
 
+    let mut report = lci_trace::BenchReport::new("fig6");
+    report.config = vec![
+        ("graph".into(), gname.clone()),
+        ("hosts".into(), hosts.to_string()),
+        ("fabric".into(), fabric.clone()),
+    ];
+    let section = emit::TraceSection::begin();
+
     for app in AppKind::all() {
         for kind in LayerKind::all() {
             let mut sc = Scenario::new(&parts, kind);
             sc.fabric = fabric_by_name(&fabric, hosts);
+            // Per-scenario phase breakdown straight from the trace spans
+            // (summed across host threads), not wall-clock subtraction.
+            let run = emit::TraceSection::begin();
             let t = sc.run_abelian(app);
+            let delta = run.end();
             let total = t.compute + t.comm;
             println!(
                 "{:<9} {:<10} | {:>12} {:>12} | {:>7.1}%",
@@ -41,7 +54,23 @@ fn main() {
                 fmt_dur(t.comm),
                 100.0 * t.comm.as_secs_f64() / total.as_secs_f64().max(1e-12)
             );
+            let prefix = format!("{}_{}", app.name(), kind.name());
+            for (phase, counter) in [
+                ("compute", Counter::PhaseComputeNs),
+                ("reduce", Counter::PhaseReduceNs),
+                ("broadcast", Counter::PhaseBroadcastNs),
+                ("control", Counter::PhaseControlNs),
+            ] {
+                emit::push_info(
+                    &mut report,
+                    &format!("{prefix}_{phase}_ns"),
+                    "ns",
+                    delta.get(counter) as f64,
+                );
+            }
         }
         println!();
     }
+    emit::attach_trace(&mut report, &section.end());
+    emit::write(&report);
 }

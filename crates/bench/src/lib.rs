@@ -272,6 +272,121 @@ pub fn median_timing(trials: usize, mut f: impl FnMut() -> Timing) -> Timing {
     v.swap_remove(v.len() / 2)
 }
 
+/// Machine-readable bench output: every binary in this crate funnels its
+/// headline numbers through here so CI (and humans) get one stable
+/// `BENCH_<name>.json` per run next to the pretty tables. See
+/// EXPERIMENTS.md for the schema and the regression-gate workflow.
+pub mod emit {
+    use lci_trace::counters::ALL_COUNTERS;
+    use lci_trace::{BenchReport, CounterSnapshot, Direction, Metric, PhaseNs, Unit};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    /// Where `BENCH_*.json` files land: `BENCH_JSON_DIR`, default `results`.
+    pub fn out_dir() -> PathBuf {
+        PathBuf::from(super::env_str("BENCH_JSON_DIR", "results"))
+    }
+
+    /// Delimits the measured section of a run against the global trace
+    /// registry; `end` returns the counter deltas the section produced.
+    pub struct TraceSection {
+        before: CounterSnapshot,
+    }
+
+    impl TraceSection {
+        /// Snapshot the registry at the start of the measured section.
+        #[allow(clippy::new_without_default)]
+        pub fn begin() -> TraceSection {
+            TraceSection {
+                before: lci_trace::global().snapshot(),
+            }
+        }
+
+        /// Counter deltas accumulated since [`TraceSection::begin`].
+        pub fn end(self) -> CounterSnapshot {
+            lci_trace::global().snapshot().delta(&self.before)
+        }
+    }
+
+    /// Add a time metric in milliseconds (lower is better).
+    pub fn push_time_ms(r: &mut BenchReport, name: &str, d: Duration, tolerance: f64) {
+        r.metrics.push(Metric {
+            name: name.to_string(),
+            unit: "ms".into(),
+            value: d.as_secs_f64() * 1e3,
+            direction: Direction::Lower,
+            tolerance,
+        });
+    }
+
+    /// Add a rate metric in events/second (higher is better).
+    pub fn push_rate(r: &mut BenchReport, name: &str, per_sec: f64, tolerance: f64) {
+        r.metrics.push(Metric {
+            name: name.to_string(),
+            unit: "per_s".into(),
+            value: per_sec,
+            direction: Direction::Higher,
+            tolerance,
+        });
+    }
+
+    /// Add a count metric gated as a band (deterministic quantities) or any
+    /// other direction the caller picks.
+    pub fn push_count(
+        r: &mut BenchReport,
+        name: &str,
+        value: u64,
+        direction: Direction,
+        tolerance: f64,
+    ) {
+        r.metrics.push(Metric {
+            name: name.to_string(),
+            unit: "count".into(),
+            value: value as f64,
+            direction,
+            tolerance,
+        });
+    }
+
+    /// Add an ungated informational metric.
+    pub fn push_info(r: &mut BenchReport, name: &str, unit: &str, value: f64) {
+        r.metrics.push(Metric {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            value,
+            direction: Direction::Info,
+            tolerance: 0.0,
+        });
+    }
+
+    /// Fold a [`TraceSection`] delta into the report: `phase.*` counters
+    /// become the per-phase breakdown (the trace-derived replacement for
+    /// wall-clock subtraction), every other non-zero counter is recorded
+    /// under `counters`.
+    pub fn attach_trace(r: &mut BenchReport, delta: &CounterSnapshot) {
+        for &c in ALL_COUNTERS.iter() {
+            let v = delta.get(c);
+            if c.unit() == Unit::Nanos && c.name().starts_with("phase.") {
+                r.phases.push(PhaseNs {
+                    name: c.name().to_string(),
+                    ns: v,
+                });
+            } else if v > 0 {
+                r.counters.push((c.name().to_string(), v));
+            }
+        }
+    }
+
+    /// Write the report into [`out_dir`] and announce the path on stdout.
+    pub fn write(r: &BenchReport) -> PathBuf {
+        let path = r
+            .write_to_dir(&out_dir())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", r.file_name()));
+        println!("bench json: {}", path.display());
+        path
+    }
+}
+
 /// Read an env-var-with-default usize (scaling knobs in binaries).
 pub fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -325,6 +440,27 @@ mod tests {
         let t = sc.run_abelian(AppKind::Bfs);
         assert!(t.rounds > 0);
         assert!(t.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn emit_helpers_produce_a_valid_report() {
+        let mut r = lci_trace::BenchReport::new("emit_test");
+        r.config.push(("graph".into(), "rmat7".into()));
+        let section = emit::TraceSection::begin();
+        emit::push_time_ms(&mut r, "t_ms", Duration::from_millis(3), 1.0);
+        emit::push_rate(&mut r, "rate_per_s", 1e6, 0.5);
+        emit::push_count(&mut r, "rounds", 7, lci_trace::Direction::Band, 0.1);
+        emit::push_info(&mut r, "note", "x", 1.5);
+        lci_trace::incr(lci_trace::Counter::EngineRounds);
+        emit::attach_trace(&mut r, &section.end());
+        // The phases array always carries every phase.* counter…
+        assert!(r.phases.iter().any(|p| p.name == "phase.compute_ns"));
+        // …and the counter we bumped shows up as a non-zero delta.
+        assert!(r.counters.iter().any(|(k, v)| k == "engine.rounds" && *v >= 1));
+        // Everything the helpers built must round-trip the schema.
+        let back = lci_trace::BenchReport::parse_str(&r.to_json().pretty()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.metric("t_ms").unwrap().value, 3.0);
     }
 
     #[test]

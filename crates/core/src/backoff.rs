@@ -72,6 +72,8 @@ impl Backoff {
         }
         let wait = self.next_wait_ns();
         self.attempt += 1;
+        lci_trace::incr(lci_trace::Counter::LciBackoffWaits);
+        lci_trace::add(lci_trace::Counter::LciBackoffWaitNs, wait);
         if wait < SPIN_THRESHOLD_NS {
             let t0 = Instant::now();
             while (t0.elapsed().as_nanos() as u64) < wait {

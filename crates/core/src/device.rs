@@ -37,6 +37,7 @@ use crate::protocol::{self, PacketType};
 use crate::request::{RecvRequest, ReqInner, ReqState, SendRequest};
 use bytes::Bytes;
 use lci_fabric::{Endpoint, Event, MrKey, PacketBuf, SendError};
+use lci_trace::{Counter, EventKind};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -314,6 +315,9 @@ impl Device {
         let inner = &self.inner;
         let Some(mut packet) = inner.pool.alloc() else {
             inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
+            lci_trace::incr(Counter::LciEnqRejected);
+            lci_trace::incr(Counter::LciPoolExhausted);
+            lci_trace::record(EventKind::PoolExhausted, dst as u32, 0);
             return Err(EnqError::NoPacket);
         };
 
@@ -324,6 +328,7 @@ impl Device {
             self.send_packet(dst, header, packet, len).inspect_err(|e| {
                 if e.is_retryable() {
                     inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
+                    lci_trace::incr(Counter::LciEnqRejected);
                 }
             })?;
             // Eager sends complete at initiation: the data has been copied
@@ -331,6 +336,7 @@ impl Device {
             let req = ReqInner::new(dst, tag, len, ReqState::Empty);
             req.mark_done();
             inner.stats.egr_sent.fetch_add(1, Ordering::Relaxed);
+            lci_trace::incr(Counter::LciEgrSent);
             Ok(SendRequest { inner: req })
         } else {
             let len = data.len();
@@ -341,6 +347,7 @@ impl Device {
             match self.send_packet(dst, header, packet, 8) {
                 Ok(()) => {
                     inner.stats.rdv_opened.fetch_add(1, Ordering::Relaxed);
+                    lci_trace::incr(Counter::LciRdvOpened);
                     Ok(SendRequest { inner: req })
                 }
                 Err(e) => {
@@ -348,6 +355,7 @@ impl Device {
                     let _ = unsafe { take_req(cookie) };
                     if e.is_retryable() {
                         inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
+                        lci_trace::incr(Counter::LciEnqRejected);
                     }
                     Err(e)
                 }
@@ -375,12 +383,15 @@ impl Device {
                 Ok(req) => return Ok(req),
                 Err(e) if e.is_retryable() => {
                     self.inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    lci_trace::incr(Counter::LciRetries);
+                    lci_trace::record(EventKind::EnqRetry, dst as u32, backoff.attempt() as u64);
                     self.progress();
                     if !backoff.snooze() {
                         self.inner
                             .stats
                             .retries_exhausted
                             .fetch_add(1, Ordering::Relaxed);
+                        lci_trace::incr(Counter::LciRetriesExhausted);
                         return Err(EnqError::RetriesExhausted);
                     }
                 }
@@ -406,6 +417,7 @@ impl Device {
                     ReqInner::new(item.src, item.tag, data.len(), ReqState::RecvReady(data));
                 req.mark_done();
                 inner.stats.received.fetch_add(1, Ordering::Relaxed);
+                lci_trace::incr(Counter::LciReceived);
                 Some(RecvRequest { inner: req })
             }
             PacketType::Rts => {
@@ -443,6 +455,7 @@ impl Device {
                 match self.send_packet(item.src, header, packet, 24) {
                     Ok(()) => {
                         inner.stats.received.fetch_add(1, Ordering::Relaxed);
+                        lci_trace::incr(Counter::LciReceived);
                         Some(RecvRequest { inner: req })
                     }
                     Err(_) => {
@@ -476,6 +489,7 @@ impl Device {
         let Some(_guard) = inner.progress_lock.try_lock() else {
             return 0;
         };
+        lci_trace::incr(Counter::LciProgressPolls);
         let mut handled = 0;
 
         // Retry puts deferred by back-pressure.
@@ -535,6 +549,9 @@ impl Device {
                     }
                 }
             }
+        }
+        if handled > 0 {
+            lci_trace::add(Counter::LciProgressEvents, handled as u64);
         }
         handled
     }

@@ -156,9 +156,10 @@ impl<T> MpmcQueue<T> {
 
     /// Test-only constructor that starts the ticket counters at `start`,
     /// letting wraparound tests begin just below `usize::MAX` instead of
-    /// pushing 2^64 items.
-    #[cfg(test)]
-    pub(crate) fn with_initial_ticket(cap: usize, start: usize) -> Self {
+    /// pushing 2^64 items. Public so property tests outside the crate can
+    /// exercise wraparound; not part of the supported API.
+    #[doc(hidden)]
+    pub fn with_initial_ticket(cap: usize, start: usize) -> Self {
         let q = Self::new(cap);
         // Stamp by *ticket*, not slot index: ticket `start + k` lives in slot
         // `(start + k) & mask` and is writable when that slot's seq equals it.

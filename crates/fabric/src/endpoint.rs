@@ -206,13 +206,7 @@ impl Endpoint {
         let mut cur = self.shared.inflight.load(Ordering::Relaxed);
         loop {
             if cur >= depth {
-                self.shared.stats.backpressure.fetch_add(1, Ordering::Relaxed);
-                if depth < configured {
-                    self.shared
-                        .stats
-                        .fault_brownout_rejects
-                        .fetch_add(1, Ordering::Relaxed);
-                }
+                self.shared.stats.record_backpressure(dst, depth < configured);
                 return Err(SendError::Backpressure);
             }
             match self.shared.inflight.compare_exchange_weak(
@@ -260,11 +254,7 @@ impl Endpoint {
             self.release_token();
             return Err(SendError::Closed);
         }
-        self.shared.stats.sends.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .stats
-            .send_bytes
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.shared.stats.record_send(dst, data.len() as u64);
         Ok(())
     }
 
@@ -298,11 +288,7 @@ impl Endpoint {
             self.release_token();
             return Err(SendError::Closed);
         }
-        self.shared.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .stats
-            .put_bytes
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.shared.stats.record_put(dst, data.len() as u64);
         Ok(())
     }
 

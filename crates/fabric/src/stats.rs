@@ -1,5 +1,11 @@
 //! Per-endpoint traffic statistics, including fault-injection counters.
+//!
+//! Every increment goes through a `record_*` method that bumps both the
+//! per-endpoint atomic (feeding [`StatsSnapshot`], which replay tests
+//! compare bit-for-bit) and the process-wide `lci-trace` counter registry,
+//! so one registry sees all fabric traffic regardless of endpoint.
 
+use lci_trace::{Counter, EventKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 #[derive(Default)]
@@ -19,6 +25,77 @@ pub(crate) struct EndpointStats {
 }
 
 impl EndpointStats {
+    /// Eager message injected: `bytes` of payload towards `dst`.
+    pub fn record_send(&self, dst: u16, bytes: u64) {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+        self.send_bytes.fetch_add(bytes, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricSends, 1);
+        lci_trace::add(Counter::FabricSendBytes, bytes);
+        lci_trace::record(EventKind::Send, dst as u32, bytes);
+    }
+
+    /// RDMA put injected: `bytes` of payload towards `dst`.
+    pub fn record_put(&self, dst: u16, bytes: u64) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.put_bytes.fetch_add(bytes, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricPuts, 1);
+        lci_trace::add(Counter::FabricPutBytes, bytes);
+        lci_trace::record(EventKind::Put, dst as u32, bytes);
+    }
+
+    /// Eager message from `src` delivered into this endpoint.
+    pub fn record_recv(&self, src: u16, bytes: u64) {
+        self.recvs.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricRecvs, 1);
+        lci_trace::record(EventKind::Recv, src as u32, bytes);
+    }
+
+    /// A send by this endpoint bounced receiver-not-ready.
+    pub fn record_rnr_retry(&self, dst: u16) {
+        self.rnr_retries.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricRnrRetries, 1);
+        lci_trace::record(EventKind::RnrBounce, dst as u32, 0);
+    }
+
+    /// Injection rejected at admission; `brownout` marks rejections caused
+    /// specifically by a fault-shrunk injection depth.
+    pub fn record_backpressure(&self, dst: u16, brownout: bool) {
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricBackpressure, 1);
+        lci_trace::record(EventKind::Backpressure, dst as u32, 0);
+        if brownout {
+            self.fault_brownout_rejects.fetch_add(1, Ordering::Relaxed);
+            lci_trace::add(Counter::FabricFaultBrownoutRejects, 1);
+        }
+    }
+
+    /// Fatal delivery error attributed to this endpoint.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricErrors, 1);
+    }
+
+    /// A delivery sent by this endpoint hit a latency-spike fault.
+    pub fn record_fault_delayed(&self) {
+        self.fault_delayed.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultDelayed, 1);
+        lci_trace::record(EventKind::Fault, 0, 0);
+    }
+
+    /// A delivery to this endpoint was held back by a reorder fault.
+    pub fn record_fault_reordered(&self) {
+        self.fault_reordered.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultReordered, 1);
+        lci_trace::record(EventKind::Fault, 1, 0);
+    }
+
+    /// A delivery to this endpoint was bounced by an RNR-storm fault.
+    pub fn record_fault_forced_rnr(&self) {
+        self.fault_forced_rnr.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultForcedRnr, 1);
+        lci_trace::record(EventKind::Fault, 2, 0);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sends: self.sends.load(Ordering::Relaxed),

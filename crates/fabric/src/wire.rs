@@ -346,10 +346,7 @@ impl WireCore {
         // instant (time_scale 0) test wires.
         let spike = match self.shared.config.fault_plan.spike_at(now) {
             Some((extra_ns, jitter_ns)) => {
-                self.shared.endpoints[src]
-                    .stats
-                    .fault_delayed
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.endpoints[src].stats.record_fault_delayed();
                 let j = if jitter_ns > 0 {
                     self.rng.gen_range(0..jitter_ns)
                 } else {
@@ -396,10 +393,7 @@ impl WireCore {
         match self.shared.config.fault_plan.reorder_at(now) {
             Some(window) => {
                 if let Some(dst) = op.dst() {
-                    self.shared.endpoints[dst]
-                        .stats
-                        .fault_reordered
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.endpoints[dst].stats.record_fault_reordered();
                 }
                 self.reorder_buf.push(op);
                 if self.reorder_buf.len() >= window.max(2) {
@@ -552,14 +546,14 @@ impl WireCore {
                     .fault_plan
                     .rnr_storm_at(self.now_ns(), dst);
                 if stormed {
-                    d.stats.fault_forced_rnr.fetch_add(1, Ordering::Relaxed);
+                    d.stats.record_fault_forced_rnr();
                 }
                 // Consume a receive credit; only this thread decrements, so a
                 // check-then-sub is race-free against concurrent returns.
                 if !stormed && d.rx_credits.load(Ordering::Acquire) > 0 {
                     d.rx_credits.fetch_sub(1, Ordering::AcqRel);
                     let guard = CreditGuard::new(Arc::clone(&d));
-                    d.stats.recvs.fetch_add(1, Ordering::Relaxed);
+                    d.stats.record_recv(src, data.len() as u64);
                     d.cq.push(Event::Recv {
                         src,
                         header,
@@ -569,10 +563,10 @@ impl WireCore {
                     s.inflight.fetch_sub(1, Ordering::AcqRel);
                 } else {
                     // Receiver not ready.
-                    s.stats.rnr_retries.fetch_add(1, Ordering::Relaxed);
+                    s.stats.record_rnr_retry(dst);
                     if retries >= self.shared.config.rnr_retry_limit {
                         s.failed.store(true, Ordering::Release);
-                        s.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        s.stats.record_error();
                         s.cq.push(Event::Error {
                             kind: FatalKind::RnrExceeded,
                             ctx,
@@ -631,7 +625,7 @@ impl WireCore {
                         });
                     }
                 } else {
-                    s.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    s.stats.record_error();
                     s.cq.push(Event::Error {
                         kind: FatalKind::BadMr,
                         ctx,

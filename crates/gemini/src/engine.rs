@@ -13,6 +13,7 @@ use abelian::label::{Label, LabelVec};
 use abelian::metrics::{HostMetrics, RoundMetrics};
 use abelian::{HostResult, RunResult};
 use lci_graph::{DistGraph, Partitioning, Policy, Vid};
+use lci_trace::{record, Counter, EventKind, Span};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -157,8 +158,10 @@ fn host_main<A: App>(
 
     loop {
         let round_start = Instant::now();
+        record(EventKind::RoundBegin, me as u32, round as u64);
 
         // ---- fire (sparse signal) ---------------------------------------
+        let fire_span = Span::enter(Counter::PhaseComputeNs);
         let fire_list: Vec<u32> = (0..nm as u32)
             .filter(|&l| changed[l as usize].swap(false, Ordering::AcqRel))
             .collect();
@@ -183,6 +186,8 @@ fn host_main<A: App>(
             }
         }
         let compute = round_start.elapsed();
+        fire_span.finish();
+        let comm_span = Span::enter(Counter::PhaseCommNs);
 
         // ---- dual-mode sync (reduce) --------------------------------------
         // Each peer's traffic is split into self-contained chunks; this is
@@ -291,7 +296,12 @@ fn host_main<A: App>(
             }
         }
 
+        comm_span.finish();
         let wall = round_start.elapsed();
+        lci_trace::incr(Counter::EngineRounds);
+        lci_trace::add(Counter::EngineSentEntries, sent_entries);
+        lci_trace::add(Counter::EngineSentBytes, sent_bytes);
+        record(EventKind::RoundEnd, me as u32, round as u64);
         metrics.rounds.push(RoundMetrics {
             compute,
             comm: wall.saturating_sub(compute),
@@ -308,6 +318,14 @@ fn host_main<A: App>(
     metrics.mem_peak = book.peak();
     metrics.mem_total_allocated = book.total_allocated();
     metrics.degradation = layer.degradation();
+    lci_trace::add(
+        Counter::EngineCommSendRetries,
+        metrics.degradation.send_retries,
+    );
+    lci_trace::add(
+        Counter::EngineCommRecvStalls,
+        metrics.degradation.recv_stalls,
+    );
 
     let masters = (0..nm)
         .map(|l| {

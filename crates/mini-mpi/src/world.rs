@@ -21,6 +21,19 @@ impl MpiWorld {
         MpiWorld { fabric, comms }
     }
 
+    /// Like [`MpiWorld::new`] but over a manual (virtual-clock) fabric:
+    /// no wire thread runs, and the caller advances simulated time with
+    /// [`Fabric::step`]/[`Fabric::drain`] via [`MpiWorld::fabric`]. This is
+    /// how deterministic tests drive mini-mpi without wall-clock timing.
+    pub fn new_manual(fabric_cfg: FabricConfig, mpi_cfg: MpiConfig) -> MpiWorld {
+        let fabric = Fabric::new_manual(fabric_cfg);
+        let registry = WinRegistry::new();
+        let comms = (0..fabric.num_hosts())
+            .map(|h| MpiComm::new(fabric.endpoint(h), mpi_cfg.clone(), registry.clone()))
+            .collect();
+        MpiWorld { fabric, comms }
+    }
+
     /// The communicator for rank `host`.
     pub fn comm(&self, host: usize) -> MpiComm {
         self.comms[host].clone()

@@ -1,0 +1,277 @@
+//! Typed counter registry.
+//!
+//! Every counter the runtime exposes lives in one fixed-size global table,
+//! indexed by the [`Counter`] enum. The hot path is a single relaxed
+//! `fetch_add` on a cache-line-padded `AtomicU64` — no allocation, no
+//! locking, no hashing. Readers take [`CounterSnapshot`]s and diff them,
+//! which is how the bench harness turns a run into counter deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Measurement unit of a counter, carried into reports so tooling can
+/// label axes without a side table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Plain event count.
+    Count,
+    /// Bytes moved.
+    Bytes,
+    /// Accumulated nanoseconds.
+    Nanos,
+}
+
+impl Unit {
+    /// Stable lowercase name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Nanos => "ns",
+        }
+    }
+}
+
+macro_rules! counters {
+    ($(($variant:ident, $name:literal, $unit:ident)),+ $(,)?) => {
+        /// Every counter in the runtime, with a fixed dense ID.
+        ///
+        /// IDs are stable within a build (they are array indices into the
+        /// global registry); the *names* are the stable external contract.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(u16)]
+        pub enum Counter {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        /// Number of counters in [`Counter`].
+        pub const NUM_COUNTERS: usize = [$(Counter::$variant),+].len();
+
+        /// All counters, in ID order.
+        pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [$(Counter::$variant),+];
+
+        impl Counter {
+            /// Stable dotted name, e.g. `fabric.sends`.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Counter::$variant => $name,)+
+                }
+            }
+
+            /// Unit of the counter.
+            pub fn unit(self) -> Unit {
+                match self {
+                    $(Counter::$variant => Unit::$unit,)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    // -- fabric: simulated NIC --------------------------------------------
+    (FabricSends, "fabric.sends", Count),
+    (FabricSendBytes, "fabric.send_bytes", Bytes),
+    (FabricPuts, "fabric.puts", Count),
+    (FabricPutBytes, "fabric.put_bytes", Bytes),
+    (FabricRecvs, "fabric.recvs", Count),
+    (FabricRnrRetries, "fabric.rnr_retries", Count),
+    (FabricBackpressure, "fabric.backpressure", Count),
+    (FabricErrors, "fabric.errors", Count),
+    (FabricFaultDelayed, "fabric.fault.delayed", Count),
+    (FabricFaultReordered, "fabric.fault.reordered", Count),
+    (FabricFaultForcedRnr, "fabric.fault.forced_rnr", Count),
+    (FabricFaultBrownoutRejects, "fabric.fault.brownout_rejects", Count),
+    // -- lci core: device / pool / backoff --------------------------------
+    (LciEgrSent, "lci.egr_sent", Count),
+    (LciRdvOpened, "lci.rdv_opened", Count),
+    (LciReceived, "lci.received", Count),
+    (LciEnqRejected, "lci.enq_rejected", Count),
+    (LciRetries, "lci.retries", Count),
+    (LciRetriesExhausted, "lci.retries_exhausted", Count),
+    (LciProgressPolls, "lci.progress_polls", Count),
+    (LciProgressEvents, "lci.progress_events", Count),
+    (LciPoolExhausted, "lci.pool_exhausted", Count),
+    (LciBackoffWaits, "lci.backoff_waits", Count),
+    (LciBackoffWaitNs, "lci.backoff_wait_ns", Nanos),
+    // -- engines: abelian / gemini ----------------------------------------
+    (EngineRounds, "engine.rounds", Count),
+    (EngineSentEntries, "engine.sent_entries", Count),
+    (EngineSentBytes, "engine.sent_bytes", Bytes),
+    (EngineCommSendRetries, "engine.comm_send_retries", Count),
+    (EngineCommRecvStalls, "engine.comm_recv_stalls", Count),
+    // -- phase timers (accumulated by Span guards) ------------------------
+    (PhaseComputeNs, "phase.compute_ns", Nanos),
+    (PhaseReduceNs, "phase.reduce_ns", Nanos),
+    (PhaseBroadcastNs, "phase.broadcast_ns", Nanos),
+    (PhaseControlNs, "phase.control_ns", Nanos),
+    (PhaseCommNs, "phase.comm_ns", Nanos),
+}
+
+/// One counter cell, padded to its own cache line so concurrent writers on
+/// different counters never false-share.
+#[repr(align(64))]
+struct Slot(AtomicU64);
+
+/// Fixed-size table of all counters.
+///
+/// Usually accessed through [`global()`], but independently constructible
+/// for tests that need isolation.
+pub struct Registry {
+    slots: [Slot; NUM_COUNTERS],
+}
+
+impl Registry {
+    /// A registry with every counter at zero.
+    pub const fn new() -> Self {
+        Registry {
+            slots: [const { Slot(AtomicU64::new(0)) }; NUM_COUNTERS],
+        }
+    }
+
+    /// Add `delta` to `c`. Relaxed; safe from any thread.
+    #[inline]
+    pub fn add(&self, c: Counter, delta: u64) {
+        self.slots[c as usize].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one to `c`.
+    #[inline]
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Current value of `c`.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.slots[c as usize].0.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, slot) in self.slots.iter().enumerate() {
+            values[i] = slot.0.load(Ordering::Relaxed);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry all runtime crates write into.
+#[inline]
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Convenience: add `delta` to `c` in the global registry.
+#[inline]
+pub fn add(c: Counter, delta: u64) {
+    GLOBAL.add(c, delta);
+}
+
+/// Convenience: add one to `c` in the global registry.
+#[inline]
+pub fn incr(c: Counter) {
+    GLOBAL.incr(c);
+}
+
+/// Immutable copy of the whole counter table at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; NUM_COUNTERS],
+}
+
+impl CounterSnapshot {
+    /// Value of one counter in this snapshot.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Per-counter difference `self - earlier` (saturating, so a snapshot
+    /// taken out of order cannot underflow).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// All `(counter, value)` pairs in ID order.
+    pub fn entries(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        ALL_COUNTERS.iter().map(move |&c| (c, self.values[c as usize]))
+    }
+
+    /// Only the non-zero `(counter, value)` pairs — what reports embed.
+    pub fn nonzero(&self) -> Vec<(Counter, u64)> {
+        self.entries().filter(|&(_, v)| v != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_COUNTERS {
+            assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
+            assert!(c.name().contains('.'), "{} should be namespaced", c.name());
+        }
+        assert_eq!(seen.len(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn add_get_snapshot_delta() {
+        let r = Registry::new();
+        r.incr(Counter::FabricSends);
+        r.add(Counter::FabricSendBytes, 64);
+        let a = r.snapshot();
+        r.add(Counter::FabricSends, 2);
+        r.add(Counter::FabricSendBytes, 128);
+        let b = r.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.get(Counter::FabricSends), 2);
+        assert_eq!(d.get(Counter::FabricSendBytes), 128);
+        assert_eq!(d.get(Counter::FabricRecvs), 0);
+        assert_eq!(d.nonzero().len(), 2);
+    }
+
+    #[test]
+    fn delta_saturates_rather_than_underflows() {
+        let r = Registry::new();
+        let early = r.snapshot();
+        r.incr(Counter::LciRetries);
+        let late = r.snapshot();
+        // Reversed order: must clamp to zero, not wrap.
+        assert_eq!(early.delta(&late).get(Counter::LciRetries), 0);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let before = global().snapshot();
+        incr(Counter::LciProgressPolls);
+        add(Counter::LciProgressPolls, 4);
+        let after = global().snapshot();
+        assert_eq!(after.delta(&before).get(Counter::LciProgressPolls), 5);
+    }
+
+    #[test]
+    fn units_are_sane() {
+        assert_eq!(Counter::FabricSendBytes.unit(), Unit::Bytes);
+        assert_eq!(Counter::PhaseComputeNs.unit(), Unit::Nanos);
+        assert_eq!(Counter::FabricSends.unit(), Unit::Count);
+        assert_eq!(Unit::Nanos.name(), "ns");
+    }
+}

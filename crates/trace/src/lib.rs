@@ -1,0 +1,33 @@
+//! # lci-trace
+//!
+//! Always-compiled, low-overhead observability for the LCI reproduction:
+//!
+//! * [`counters`] — a typed global counter registry. Hot path is one
+//!   relaxed `fetch_add` on a cache-line-padded atomic; readers diff
+//!   [`CounterSnapshot`]s.
+//! * [`ring`] — per-thread fixed-capacity event rings. No allocation or
+//!   locking on the hot path; overflow drops oldest and counts the drops.
+//! * [`span`] — RAII phase timers that feed the `phase.*_ns` counters,
+//!   giving trace-derived compute/comm breakdowns (Fig 6) instead of
+//!   wall-clock subtraction.
+//! * [`report`] / [`regress`] — the `BENCH_<name>.json` schema and the
+//!   tolerance-band regression gate `run_tests.sh` uses.
+//! * [`json`] — the dependency-free JSON reader/writer underneath.
+//!
+//! The crate is std-only by design: it sits below every other crate in
+//! the workspace and must never drag a dependency into the hot path.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod json;
+pub mod regress;
+pub mod report;
+pub mod ring;
+pub mod span;
+
+pub use counters::{add, global, incr, Counter, CounterSnapshot, Registry, Unit};
+pub use regress::{compare, Violation};
+pub use report::{BenchReport, Direction, Metric, PhaseNs, SCHEMA_VERSION};
+pub use ring::{record, with_ring, EventKind, Ring, TraceEvent};
+pub use span::Span;

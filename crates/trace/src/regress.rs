@@ -1,0 +1,179 @@
+//! Regression gate: diff a fresh [`BenchReport`] against a checked-in
+//! baseline, honouring each metric's direction and tolerance band.
+
+use crate::report::{BenchReport, Direction};
+
+/// One gate failure: a metric drifted outside its allowed range, or a
+/// gated baseline metric is missing from the current report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value (NaN when the metric is missing from the current run).
+    pub baseline: f64,
+    /// Measured value (NaN when missing).
+    pub measured: f64,
+    /// Lowest acceptable value.
+    pub allowed_lo: f64,
+    /// Highest acceptable value.
+    pub allowed_hi: f64,
+    /// Human-readable explanation.
+    pub why: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: measured {} vs baseline {} (allowed [{}, {}]) — {}",
+            self.metric, self.measured, self.baseline, self.allowed_lo, self.allowed_hi, self.why
+        )
+    }
+}
+
+/// Allowed `[lo, hi]` range for a baseline metric. `Info` metrics get an
+/// unbounded range.
+pub fn allowed_range(direction: Direction, baseline: f64, tolerance: f64) -> (f64, f64) {
+    let slack = baseline.abs() * tolerance;
+    match direction {
+        Direction::Lower => (f64::NEG_INFINITY, baseline + slack),
+        Direction::Higher => (baseline - slack, f64::INFINITY),
+        Direction::Band => (baseline - slack, baseline + slack),
+        Direction::Info => (f64::NEG_INFINITY, f64::INFINITY),
+    }
+}
+
+/// Compare `current` against `baseline`. Direction and tolerance are taken
+/// from the *baseline* (the checked-in contract), so a run cannot loosen
+/// its own gate. Returns all violations; empty means the gate passes.
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for base in &baseline.metrics {
+        if base.direction == Direction::Info {
+            continue;
+        }
+        let (lo, hi) = allowed_range(base.direction, base.value, base.tolerance);
+        match current.metric(&base.name) {
+            None => violations.push(Violation {
+                metric: base.name.clone(),
+                baseline: base.value,
+                measured: f64::NAN,
+                allowed_lo: lo,
+                allowed_hi: hi,
+                why: "metric missing from current report".into(),
+            }),
+            Some(cur) => {
+                if cur.value < lo || cur.value > hi || !cur.value.is_finite() {
+                    let why = match base.direction {
+                        Direction::Lower => "regressed above baseline tolerance",
+                        Direction::Higher => "dropped below baseline tolerance",
+                        Direction::Band => "drifted outside deterministic band",
+                        Direction::Info => unreachable!(),
+                    };
+                    violations.push(Violation {
+                        metric: base.name.clone(),
+                        baseline: base.value,
+                        measured: cur.value,
+                        allowed_lo: lo,
+                        allowed_hi: hi,
+                        why: why.into(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Metric;
+
+    fn report(metrics: Vec<(&str, f64, Direction, f64)>) -> BenchReport {
+        let mut r = BenchReport::new("gate_test");
+        r.metrics = metrics
+            .into_iter()
+            .map(|(name, value, direction, tolerance)| Metric {
+                name: name.into(),
+                unit: "x".into(),
+                value,
+                direction,
+                tolerance,
+            })
+            .collect();
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(vec![
+            ("lat_ms", 10.0, Direction::Lower, 0.2),
+            ("rate", 1e6, Direction::Higher, 0.2),
+            ("sends", 4096.0, Direction::Band, 0.05),
+        ]);
+        assert!(compare(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn lower_metric_fails_only_upward() {
+        let base = report(vec![("lat_ms", 10.0, Direction::Lower, 0.2)]);
+        // 50% faster: fine.
+        assert!(compare(&base, &report(vec![("lat_ms", 5.0, Direction::Lower, 0.2)])).is_empty());
+        // Within +20%: fine.
+        assert!(compare(&base, &report(vec![("lat_ms", 11.9, Direction::Lower, 0.2)])).is_empty());
+        // +30%: regression.
+        let v = compare(&base, &report(vec![("lat_ms", 13.0, Direction::Lower, 0.2)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "lat_ms");
+        assert!(v[0].why.contains("regressed"));
+    }
+
+    #[test]
+    fn higher_metric_fails_only_downward() {
+        let base = report(vec![("rate", 100.0, Direction::Higher, 0.1)]);
+        assert!(compare(&base, &report(vec![("rate", 500.0, Direction::Higher, 0.1)])).is_empty());
+        let v = compare(&base, &report(vec![("rate", 80.0, Direction::Higher, 0.1)]));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].why.contains("below"));
+    }
+
+    #[test]
+    fn band_metric_fails_both_ways() {
+        let base = report(vec![("sends", 1000.0, Direction::Band, 0.1)]);
+        assert!(compare(&base, &report(vec![("sends", 1050.0, Direction::Band, 0.1)])).is_empty());
+        assert_eq!(compare(&base, &report(vec![("sends", 1200.0, Direction::Band, 0.1)])).len(), 1);
+        assert_eq!(compare(&base, &report(vec![("sends", 800.0, Direction::Band, 0.1)])).len(), 1);
+    }
+
+    #[test]
+    fn info_metrics_never_gate_and_missing_metrics_do() {
+        let base = report(vec![
+            ("note", 7.0, Direction::Info, 0.0),
+            ("lat_ms", 10.0, Direction::Lower, 0.1),
+        ]);
+        // Current lacks both: only the gated one violates.
+        let v = compare(&base, &report(vec![]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "lat_ms");
+        assert!(v[0].measured.is_nan());
+        assert!(v[0].why.contains("missing"));
+    }
+
+    #[test]
+    fn perturbed_baseline_trips_the_gate() {
+        // The acceptance-criteria demonstration: take a passing pair, then
+        // perturb the baseline so the same measurement now violates it.
+        let current = report(vec![("lat_ms", 10.0, Direction::Lower, 0.1)]);
+        let good_base = report(vec![("lat_ms", 10.0, Direction::Lower, 0.1)]);
+        assert!(compare(&good_base, &current).is_empty());
+
+        let mut perturbed = good_base.clone();
+        perturbed.metrics[0].value = 5.0; // pretend history was 2x faster
+        let v = compare(&perturbed, &current);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].measured > v[0].allowed_hi);
+        // And the Display form is usable in CI logs.
+        assert!(format!("{}", v[0]).contains("lat_ms"));
+    }
+}

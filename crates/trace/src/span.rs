@@ -1,0 +1,92 @@
+//! Span timers: RAII guards that accumulate elapsed wall time into a
+//! phase counter and leave begin/end breadcrumbs in the thread's ring.
+//!
+//! This is how Fig 6's compute/comm breakdown is produced from traces
+//! instead of wall-clock subtraction: each engine phase opens a span, and
+//! the per-phase `*_ns` counters sum exactly what was spent inside them.
+
+use crate::counters::{self, Counter};
+use crate::ring::{record, EventKind};
+use std::time::Instant;
+
+/// RAII phase timer. On drop (or [`Span::finish`]) the elapsed
+/// nanoseconds are added to the span's counter in the global registry.
+#[must_use = "a span measures the scope it lives in; binding it to _ drops it immediately"]
+pub struct Span {
+    counter: Counter,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    /// Open a span accumulating into `counter` (a `*_ns` phase counter).
+    pub fn enter(counter: Counter) -> Self {
+        record(EventKind::PhaseBegin, counter as u32, 0);
+        Span { counter, start: Instant::now(), done: false }
+    }
+
+    /// Close early and return the elapsed nanoseconds this span recorded.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let ns = self.start.elapsed().as_nanos() as u64;
+        counters::add(self.counter, ns);
+        record(EventKind::PhaseEnd, self.counter as u32, ns);
+        ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::global;
+    use crate::ring::with_ring;
+
+    #[test]
+    fn span_accumulates_into_counter_and_ring() {
+        with_ring(|r| {
+            r.drain();
+        });
+        let before = global().snapshot();
+        let s = Span::enter(Counter::PhaseComputeNs);
+        std::hint::black_box(1 + 1);
+        let ns = s.finish();
+        let delta = global().snapshot().delta(&before);
+        assert!(delta.get(Counter::PhaseComputeNs) >= ns);
+        let events = with_ring(|r| r.drain()).unwrap();
+        let begins = events.iter().filter(|e| e.kind == EventKind::PhaseBegin).count();
+        let ends: Vec<_> = events.iter().filter(|e| e.kind == EventKind::PhaseEnd).collect();
+        assert_eq!(begins, 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].a, Counter::PhaseComputeNs as u32);
+        assert_eq!(ends[0].b, ns);
+    }
+
+    #[test]
+    fn drop_records_once() {
+        let before = global().snapshot();
+        {
+            let _s = Span::enter(Counter::PhaseControlNs);
+        }
+        let mid = global().snapshot();
+        assert!(mid.delta(&before).get(Counter::PhaseControlNs) > 0);
+
+        // finish() then drop must not double-count.
+        let s = Span::enter(Counter::PhaseControlNs);
+        let ns = s.finish();
+        let after = global().snapshot();
+        assert!(after.delta(&mid).get(Counter::PhaseControlNs) >= ns);
+    }
+}

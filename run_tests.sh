@@ -1,24 +1,46 @@
 #!/bin/bash
-# Tier-1 test suite + chaos profile.
+# Tier-1 test suite + chaos profile + bench-smoke perf gate.
 #
-# Tier 1 (always): release build + the full workspace test suite. This is
-# the bar every change must clear.
+# Tier 1 (always): release build + the full workspace test suite, clippy on
+# the trace crate, and the bench-smoke regression gate. This is the bar
+# every change must clear.
 #
 # Chaos profile: re-run the stress suite across a fixed matrix of fabric
 # seeds. Fault schedules are a pure function of the seed, so each value is
 # a *distinct, reproducible* chaos schedule — a failure under seed S is
 # replayed exactly with `FABRIC_SEED=S cargo test --test stress`.
 #
+# Bench-smoke: a seconds-scale benchmark (tiny deterministic graph, 2
+# simulated hosts) that writes `results/BENCH_smoke.json` and diffs its
+# gated metrics against `crates/bench/baselines/BENCH_smoke.json`. After an
+# intentional perf change, regenerate the baseline with
+# `BENCH_UPDATE_BASELINE=1 cargo run --release -p lci-bench --bin bench_smoke`.
+#
 # Usage:
-#   ./run_tests.sh            # tier 1 + chaos profile
-#   ./run_tests.sh --tier1    # tier 1 only (fast gate)
+#   ./run_tests.sh               # tier 1 + chaos profile
+#   ./run_tests.sh --tier1       # tier 1 only (fast gate)
+#   ./run_tests.sh bench-smoke   # bench-smoke gate only
 set -e
 cd "$(dirname "$0")"
+
+bench_smoke() {
+    echo "=== bench-smoke: perf regression gate ==="
+    cargo run --release -p lci-bench --bin bench_smoke
+}
+
+if [[ "${1:-}" == "bench-smoke" ]]; then
+    cargo build --release -p lci-bench
+    bench_smoke
+    exit 0
+fi
 
 echo "=== tier 1: build ==="
 cargo build --workspace --release
 echo "=== tier 1: test ==="
 cargo test --workspace --release -q
+echo "=== tier 1: clippy (lci-trace) ==="
+cargo clippy -p lci-trace --release -- -D warnings
+bench_smoke
 
 if [[ "${1:-}" == "--tier1" ]]; then
     echo "TIER 1 OK"

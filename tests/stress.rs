@@ -9,11 +9,10 @@
 use abelian::apps::{reference, Bfs, Cc};
 use abelian::{build_layers, run_app, EngineConfig, LayerKind};
 use bytes::Bytes;
-use lci::{LciConfig, LciWorld};
-use lci_fabric::{FabricConfig, Fault, FaultPlan};
+use lci::{Device, LciConfig};
+use lci_fabric::{Fabric, FabricConfig, Fault, FaultPlan};
 use lci_graph::{gen, partition, Policy};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 /// The fabric seed for this process: `FABRIC_SEED` env var, or a fixed
 /// default. Printed on first use so any failing run is replayable.
@@ -29,45 +28,48 @@ fn fabric_seed() -> u64 {
     seed
 }
 
-/// LCI under a starved fabric: injection depth 2 and 8 receive buffers.
-/// Everything still completes (slowly) because every failure is retryable.
+/// LCI under a starved fabric: injection depth 2, 8 receive buffers, and a
+/// 4-packet pool. Everything still completes (slowly) because every failure
+/// is retryable. Runs on the manual virtual clock, so the test is a pure
+/// iteration count — no wall-clock deadline to misfire on a loaded host.
 #[test]
 fn lci_survives_starved_fabric() {
-    let mut fcfg = FabricConfig::test(2)
+    let fcfg = FabricConfig::deterministic(2, fabric_seed())
         .with_injection_depth(2)
-        .with_rx_buffers(8)
-        .with_seed(fabric_seed());
-    fcfg.rnr_delay_ns = 1_000;
-    fcfg.time_scale = 1.0;
+        .with_rx_buffers(8);
+    let f = Fabric::new_manual(fcfg);
     let lcfg = LciConfig::default().with_packet_count(4);
-    let w = LciWorld::new(fcfg, lcfg);
-    let a = w.device(0);
-    let b = w.device(1);
+    let a = Device::new(f.endpoint(0), lcfg.clone());
+    let b = Device::new(f.endpoint(1), lcfg);
     const N: usize = 300;
-    let recv = std::thread::spawn(move || {
-        let mut got = 0;
-        let deadline = Instant::now() + Duration::from_secs(60);
-        while got < N {
-            if let Some(r) = b.recv_deq() {
-                assert!(r.is_done());
-                got += 1;
-            } else {
-                std::thread::yield_now();
-            }
-            assert!(Instant::now() < deadline, "starved at {got}/{N}");
-        }
-    });
-    for i in 0..N {
-        loop {
-            match a.send_enq(Bytes::from(vec![i as u8; 32]), 1, i as u32 % 100) {
-                Ok(_) => break,
-                Err(e) if e.is_retryable() => std::thread::yield_now(),
+    let mut sent = 0usize;
+    let mut got = 0usize;
+    let mut guard = 0u32;
+    while got < N {
+        guard += 1;
+        assert!(guard < 1_000_000, "starved fabric wedged at {got}/{N}");
+        // Burst until the starved resources push back: with a 4-packet pool
+        // and depth-2 injection, the rejection path fires every round.
+        while sent < N {
+            match a.send_enq(Bytes::from(vec![sent as u8; 32]), 1, sent as u32 % 100) {
+                Ok(_) => sent += 1,
+                Err(e) if e.is_retryable() => break,
                 Err(e) => panic!("{e}"),
             }
         }
+        f.step();
+        a.progress();
+        b.progress();
+        while let Some(r) = b.recv_deq() {
+            assert!(r.is_done());
+            got += 1;
+        }
     }
-    recv.join().unwrap();
     assert!(!a.is_failed());
+    assert!(
+        a.endpoint().stats().rnr_retries > 0 || a.stats().enq_rejected > 0,
+        "a starved fabric should have forced at least one retry"
+    );
 }
 
 /// The engine on a deliberately slow, jittery wire with a tiny packet pool:
@@ -205,48 +207,49 @@ fn concurrent_worlds_do_not_interfere() {
 }
 
 /// The headline chaos scenario: an RNR storm stalls the receiver's credits
-/// for 20 ms while an injection brownout shrinks the sender's effective
-/// depth to 1. LCI — retryable initiation plus an unbounded NIC retry
-/// limit — rides it out and delivers everything; the degradation is visible
-/// in the fault counters rather than in the results.
+/// while an injection brownout shrinks the sender's effective depth to 1.
+/// LCI — retryable initiation plus an unbounded NIC retry limit — rides it
+/// out and delivers everything; the degradation is visible in the fault
+/// counters rather than in the results. Runs on the manual virtual clock:
+/// the fault phases are simulated nanoseconds, so the schedule is identical
+/// on an idle workstation and a saturated 1-core CI box.
 #[test]
 fn lci_survives_rnr_storm_and_brownout() {
-    // Seconds-long phases: generous against wall-clock skew when the whole
-    // suite runs in parallel on a loaded machine.
+    // Virtual-time phases: the storm owns [0, 500µs) of simulated time and
+    // the brownout [0, 300µs); the virtual clock advances only through
+    // scheduled deliveries, so both phases engage deterministically.
     let plan = FaultPlan::none()
-        .with_phase(0, 2_000_000_000, Fault::RnrStorm { target: 1 })
-        .with_phase(0, 1_500_000_000, Fault::Brownout { max_inflight: 1 });
-    let mut fcfg = FabricConfig::test(2)
-        .with_time_scale(1.0)
-        .with_rnr_retry_limit(u32::MAX)
-        .with_seed(fabric_seed())
-        .with_fault_plan(plan);
-    fcfg.rnr_delay_ns = 200_000;
-    let w = LciWorld::new(fcfg, LciConfig::default());
-    let a = w.device(0);
-    let b = w.device(1);
+        .with_phase(0, 500_000, Fault::RnrStorm { target: 1 })
+        .with_phase(0, 300_000, Fault::Brownout { max_inflight: 1 });
+    let fcfg = FabricConfig::deterministic(2, fabric_seed()).with_fault_plan(plan);
+    let f = Fabric::new_manual(fcfg);
+    let a = Device::new(f.endpoint(0), LciConfig::default());
+    let b = Device::new(f.endpoint(1), LciConfig::default());
     const N: usize = 100;
-    let recv = std::thread::spawn(move || {
-        let mut got = 0;
-        let deadline = Instant::now() + Duration::from_secs(60);
-        while got < N {
-            if let Some(r) = b.recv_deq() {
-                assert!(r.is_done());
-                got += 1;
-            } else {
-                std::thread::yield_now();
+    let mut sent = 0usize;
+    let mut got = 0usize;
+    let mut guard = 0u32;
+    while got < N {
+        guard += 1;
+        assert!(guard < 1_000_000, "chaos starved LCI at {got}/{N}");
+        if sent < N {
+            match a.send_enq(Bytes::from(vec![sent as u8; 32]), 1, sent as u32) {
+                Ok(_) => sent += 1,
+                Err(e) if e.is_retryable() => {}
+                Err(e) => panic!("LCI must absorb the storm, not die: {e}"),
             }
-            assert!(Instant::now() < deadline, "chaos starved LCI at {got}/{N}");
         }
-    });
-    for i in 0..N {
-        a.send_enq_backoff(Bytes::from(vec![i as u8; 32]), 1, i as u32)
-            .expect("LCI must absorb the storm, not die");
+        f.step();
+        a.progress();
+        b.progress();
+        while let Some(r) = b.recv_deq() {
+            assert!(r.is_done());
+            got += 1;
+        }
     }
-    recv.join().unwrap();
     assert!(!a.is_failed(), "LCI endpoint must survive the chaos plan");
     let sender = a.endpoint().stats();
-    let receiver = w.device(1).endpoint().stats();
+    let receiver = b.endpoint().stats();
     assert!(
         receiver.fault_forced_rnr > 0,
         "storm phase never forced a bounce: {receiver:?}"
@@ -260,39 +263,41 @@ fn lci_survives_rnr_storm_and_brownout() {
 
 /// The paper's §III-B contrast, reproduced under the same storm: mini-mpi
 /// configured like a real InfiniBand deployment (finite rnr_retry) has no
-/// recovery path once the NIC gives up — the communicator dies fatally on
-/// the exact fault plan the LCI run above survives.
+/// recovery path once the NIC gives up — the communicator dies fatally
+/// under the storm the LCI run above survives. Manual virtual clock: the
+/// NIC gives up after exactly `rnr_retry_limit` bounces of simulated time,
+/// so the death is an iteration count, not a 30-second wall deadline.
 #[test]
 fn mini_mpi_aborts_under_rnr_storm() {
-    // Seconds-long phases: generous against wall-clock skew when the whole
-    // suite runs in parallel on a loaded machine.
+    // The storm covers the whole virtual horizon: there is no recovery
+    // window, mirroring a receiver wedged past the NIC retry budget.
     let plan = FaultPlan::none()
-        .with_phase(0, 2_000_000_000, Fault::RnrStorm { target: 1 })
-        .with_phase(0, 1_500_000_000, Fault::Brownout { max_inflight: 1 });
-    let mut fcfg = FabricConfig::test(2)
-        .with_time_scale(1.0)
+        .with_phase(0, u64::MAX / 2, Fault::RnrStorm { target: 1 });
+    let fcfg = FabricConfig::deterministic(2, fabric_seed())
         .with_rnr_retry_limit(8) // ib-like finite rnr_retry
-        .with_seed(fabric_seed())
         .with_fault_plan(plan);
-    fcfg.rnr_delay_ns = 200_000;
-    let w = mini_mpi::MpiWorld::new(fcfg, mini_mpi::MpiConfig::default());
+    let w = mini_mpi::MpiWorld::new_manual(fcfg, mini_mpi::MpiConfig::default());
     let comms = w.comms();
     let sender = &comms[0];
-    let deadline = Instant::now() + Duration::from_secs(30);
     let mut pending = Vec::new();
     let mut fatal = false;
     let mut i = 0u32;
+    let mut guard = 0u32;
     while !fatal {
-        assert!(
-            Instant::now() < deadline,
-            "MPI should have died under the storm by now"
-        );
+        guard += 1;
+        assert!(guard < 100_000, "MPI should have died under the storm by now");
         match sender.isend(Bytes::from(vec![0u8; 32]), 1, i % 1_000) {
             Ok(req) => pending.push(req),
             Err(mini_mpi::MpiError::Fatal(_)) => fatal = true,
             Err(e) => panic!("unexpected MPI error: {e}"),
         }
         i += 1;
+        // Drain the wire fully between injections: every storm-bounced op
+        // either delivers or exhausts its 8-retry budget, so this
+        // terminates — and it keeps the injection queue empty, which
+        // matters because mini-mpi spins internally on backpressure and
+        // would deadlock against a manually stepped wire.
+        w.fabric().drain();
         pending.retain(|req| match sender.test_send(req) {
             Ok(done) => !done,
             Err(mini_mpi::MpiError::Fatal(_)) => {
@@ -301,6 +306,11 @@ fn mini_mpi_aborts_under_rnr_storm() {
             }
             Err(e) => panic!("unexpected MPI error: {e}"),
         });
+        // The RNR-exceeded completion poisons the communicator on the next
+        // progress call even when no request is outstanding.
+        if sender.poke().is_err() {
+            fatal = true;
+        }
     }
     // Poisoned permanently: even a fresh call fails.
     assert!(matches!(

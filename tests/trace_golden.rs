@@ -1,0 +1,141 @@
+//! Golden tests for the `lci-trace` observability layer: counter deltas for
+//! a fixed `FABRIC_SEED` must replay exactly, and the per-thread event ring
+//! must see the traffic the counters claim happened.
+//!
+//! The trace registry is process-global, so every test here serializes on
+//! one mutex and measures *deltas* (snapshot before, snapshot after) rather
+//! than absolute values.
+
+use bytes::Bytes;
+use lci::{Device, LciConfig};
+use lci_fabric::{Fabric, FabricConfig};
+use lci_trace::counters::ALL_COUNTERS;
+use lci_trace::{Counter, EventKind, Unit};
+use std::sync::Mutex;
+
+/// Serializes trace-registry access across the tests in this binary.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The fabric seed for this process: `FABRIC_SEED` env var, or a fixed
+/// default, mirroring the stress suite.
+fn fabric_seed() -> u64 {
+    std::env::var("FABRIC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// One fixed manual-clock LCI workload; returns the per-counter registry
+/// delta it produced. Single-threaded and virtual-time, so every non-time
+/// counter it touches is a pure function of the seed.
+fn manual_lci_run(seed: u64) -> Vec<(Counter, u64)> {
+    let before = lci_trace::global().snapshot();
+    let fcfg = FabricConfig::deterministic(2, seed);
+    let f = Fabric::new_manual(fcfg);
+    let a = Device::new(f.endpoint(0), LciConfig::default());
+    let b = Device::new(f.endpoint(1), LciConfig::default());
+    const N: u32 = 64;
+    let mut sent = 0u32;
+    let mut got = 0u32;
+    let mut guard = 0u32;
+    while got < N {
+        guard += 1;
+        assert!(guard < 1_000_000, "golden workload wedged at {got}/{N}");
+        if sent < N {
+            match a.send_enq(Bytes::from(vec![sent as u8; 24]), 1, sent) {
+                Ok(_) => sent += 1,
+                Err(e) if e.is_retryable() => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        f.step();
+        a.progress();
+        b.progress();
+        while b.recv_deq().is_some() {
+            got += 1;
+        }
+    }
+    f.drain();
+    let after = lci_trace::global().snapshot();
+    let delta = after.delta(&before);
+    ALL_COUNTERS.iter().map(|&c| (c, delta.get(c))).collect()
+}
+
+/// Same seed ⇒ identical counter deltas for every count/byte-valued counter.
+/// Time-valued (`ns`) counters are excluded: they measure the host clock,
+/// not the virtual schedule.
+#[test]
+fn counter_deltas_replay_bit_for_bit() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    let seed = fabric_seed();
+    let d1 = manual_lci_run(seed);
+    let d2 = manual_lci_run(seed);
+    for (&(c1, v1), &(c2, v2)) in d1.iter().zip(d2.iter()) {
+        assert_eq!(c1.name(), c2.name());
+        if c1.unit() == Unit::Nanos {
+            continue;
+        }
+        assert_eq!(
+            v1, v2,
+            "counter {} diverged between identical seeded runs: {v1} vs {v2}",
+            c1.name()
+        );
+    }
+    // The workload must actually register in the unified registry.
+    let get = |c: Counter| d1.iter().find(|(k, _)| *k == c).unwrap().1;
+    assert!(get(Counter::FabricSends) >= 64, "fabric sends missing");
+    assert!(get(Counter::FabricRecvs) >= 64, "fabric recvs missing");
+    assert!(get(Counter::LciEgrSent) >= 64, "lci eager sends missing");
+    assert!(get(Counter::LciReceived) >= 64, "lci receives missing");
+    assert!(get(Counter::LciProgressPolls) > 0, "progress polls missing");
+}
+
+/// The calling thread's event ring observes the sends the counters report:
+/// the two views of the same traffic must agree.
+#[test]
+fn ring_sees_the_traffic_the_counters_count() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    // Drain anything previous tests on this thread left behind.
+    lci_trace::with_ring(|r| {
+        r.drain();
+    });
+    let before = lci_trace::global().snapshot();
+    let fcfg = FabricConfig::deterministic(2, fabric_seed());
+    let f = Fabric::new_manual(fcfg);
+    let a = Device::new(f.endpoint(0), LciConfig::default());
+    let b = Device::new(f.endpoint(1), LciConfig::default());
+    let mut got = 0;
+    let mut sent = 0;
+    let mut guard = 0u32;
+    while got < 8 {
+        guard += 1;
+        assert!(guard < 1_000_000, "ring workload wedged");
+        if sent < 8 {
+            match a.send_enq(Bytes::from_static(b"ring-golden"), 1, sent) {
+                Ok(_) => sent += 1,
+                Err(e) if e.is_retryable() => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        f.step();
+        a.progress();
+        b.progress();
+        while b.recv_deq().is_some() {
+            got += 1;
+        }
+    }
+    let delta = lci_trace::global().snapshot().delta(&before);
+    let events = lci_trace::with_ring(|r| r.drain()).expect("ring available");
+    let ring_sends = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Send)
+        .count() as u64;
+    // Everything ran on this one thread, so the thread-local ring saw every
+    // send the global registry counted.
+    assert_eq!(
+        ring_sends,
+        delta.get(Counter::FabricSends),
+        "ring and registry disagree about send count"
+    );
+    assert!(events.iter().any(|e| e.kind == EventKind::Recv));
+}
