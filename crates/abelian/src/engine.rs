@@ -172,10 +172,20 @@ fn finish_frame(buf: &mut [u8], count: u32) {
 
 fn decode_frame<L: Label>(data: &[u8], mut f: impl FnMut(u32, L)) {
     if data.len() < 4 {
+        lci_trace::incr(Counter::EngineMalformedDropped);
         return;
     }
     let count = u32::from_le_bytes(data[..4].try_into().expect("len checked")) as usize;
     let entry = 4 + L::WIRE_BYTES;
+    // A frame whose count claims more entries than its bytes carry is
+    // mangled; drop it whole rather than read out of bounds.
+    match count.checked_mul(entry).and_then(|n| n.checked_add(4)) {
+        Some(n) if n <= data.len() => {}
+        _ => {
+            lci_trace::incr(Counter::EngineMalformedDropped);
+            return;
+        }
+    }
     for i in 0..count {
         let off = 4 + i * entry;
         let pos = u32::from_le_bytes(data[off..off + 4].try_into().expect("frame"));
@@ -331,7 +341,12 @@ fn host_main<A: App>(
                     got += 1;
                     let plan = &part.master_recv[src as usize];
                     decode_frame::<A::Acc>(&data, |pos, v| {
-                        deliver(plan[pos as usize] as usize, v);
+                        // A position outside the plan means a mangled frame
+                        // slipped past framing; drop the entry, not the host.
+                        match plan.get(pos as usize) {
+                            Some(&lid) => deliver(lid as usize, v),
+                            None => lci_trace::incr(Counter::EngineMalformedDropped),
+                        }
                     });
                 }
                 None => std::thread::yield_now(),
@@ -369,7 +384,11 @@ fn host_main<A: App>(
                         got += 1;
                         let plan = &part.mirror_send[src as usize];
                         decode_frame::<A::Acc>(&data, |pos, e| {
-                            let lid = plan[pos as usize] as usize;
+                            let Some(&lid) = plan.get(pos as usize) else {
+                                lci_trace::incr(Counter::EngineMalformedDropped);
+                                return;
+                            };
+                            let lid = lid as usize;
                             // Canonical sync of the mirror cache (min-apps
                             // only: emissions equal canonical values there).
                             if !app.consuming() {
@@ -413,7 +432,13 @@ fn host_main<A: App>(
             match layer.try_recv(channels::CONTROL) {
                 Some((_, data)) => {
                     got += 1;
-                    total += u64::from_le_bytes(data[..8].try_into().expect("control"));
+                    // Count the peer even when its frame is short, else the
+                    // barrier would hang; drop the unreadable value.
+                    if data.len() >= 8 {
+                        total += u64::from_le_bytes(data[..8].try_into().expect("len checked"));
+                    } else {
+                        lci_trace::incr(Counter::EngineMalformedDropped);
+                    }
                 }
                 None => std::thread::yield_now(),
             }

@@ -21,6 +21,7 @@
 use crate::comm::{ChannelSpec, CommLayer, Degradation};
 use crate::membook::MemBook;
 use bytes::Bytes;
+use lci_trace::Counter;
 use mini_mpi::{MpiComm, RecvReq, SendReq};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -128,21 +129,35 @@ impl MpiProbeLayer {
         let status = req.status().expect("completed recv has status");
         let data = req.take_data().expect("completed recv has data");
         if status.tag == AGG_TAG {
-            // De-frame an aggregate from the buffered network layer.
+            // De-frame an aggregate from the buffered network layer. Every
+            // length field is validated before use: a sub-frame claiming
+            // more bytes than remain means the aggregate is mangled, and the
+            // rest is dropped (counted) instead of panicking.
             let mut off = 0;
             while off + 8 <= data.len() {
                 let tag = u32::from_le_bytes(data[off..off + 4].try_into().expect("frame"));
                 let len =
                     u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("frame"))
                         as usize;
-                let body = data[off + 8..off + 8 + len].to_vec();
-                off += 8 + len;
+                let end = match (off + 8).checked_add(len) {
+                    Some(end) if end <= data.len() => end,
+                    _ => {
+                        lci_trace::incr(Counter::EngineMalformedDropped);
+                        return;
+                    }
+                };
+                let body = data[off + 8..end].to_vec();
+                off = end;
                 self.book.alloc(body.len());
                 inner
                     .stash
                     .entry(tag)
                     .or_default()
                     .push_back((status.src, body));
+            }
+            if off != data.len() {
+                // Trailing bytes too short for a sub-frame header.
+                lci_trace::incr(Counter::EngineMalformedDropped);
             }
             return;
         }

@@ -10,6 +10,7 @@
 
 use crate::comm::{ChannelSpec, CommLayer, Degradation};
 use crate::membook::MemBook;
+use lci_trace::Counter;
 use mini_mpi::{MpiComm, Window};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -24,6 +25,8 @@ struct Chan {
     slot_at_peer: Vec<usize>,
     /// Max payload I may send to each peer.
     max_send: Vec<usize>,
+    /// Max payload each origin may land in my window (slot capacity).
+    max_recv: Vec<usize>,
     peers: Vec<u16>,
     /// Outgoing sub-messages of the current round, staged per destination
     /// and written with a single put at `finish_sends` (so engines may send
@@ -98,6 +101,7 @@ impl CommLayer for MpiRmaLayer {
                 my_offsets,
                 slot_at_peer: spec.slot_at_peer,
                 max_send: spec.max_send,
+                max_recv: spec.max_recv,
                 peers,
                 staged: vec![Vec::new(); p],
                 inbox: std::collections::VecDeque::new(),
@@ -160,22 +164,46 @@ impl CommLayer for MpiRmaLayer {
                 let mut lenb = [0u8; 8];
                 c.win.read_local(off, &mut lenb);
                 let total = u64::from_le_bytes(lenb) as usize;
+                // Puts carry hardware-checksummed RDMA payloads in our fault
+                // model, so a lying length prefix should be impossible; keep
+                // the slot-capacity bound anyway rather than read past it.
+                if total > c.max_recv[src as usize] {
+                    lci_trace::incr(Counter::EngineMalformedDropped);
+                    self.recv_stalls.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
                 let mut blob = vec![0u8; total];
                 c.win.read_local(off + 8, &mut blob);
-                // De-frame the sub-messages.
+                // De-frame the sub-messages, validating every length field:
+                // a sub-frame claiming more bytes than remain truncates the
+                // de-chunk (counted) instead of panicking.
                 let mut cursor = 0usize;
                 while cursor + 4 <= total {
                     let len = u32::from_le_bytes(
                         blob[cursor..cursor + 4].try_into().expect("frame"),
                     ) as usize;
-                    let body = blob[cursor + 4..cursor + 4 + len].to_vec();
-                    cursor += 4 + len;
+                    let end = match (cursor + 4).checked_add(len) {
+                        Some(end) if end <= total => end,
+                        _ => {
+                            lci_trace::incr(Counter::EngineMalformedDropped);
+                            break;
+                        }
+                    };
+                    let body = blob[cursor + 4..end].to_vec();
+                    cursor = end;
                     self.book.alloc(body.len());
                     c.inbox.push_back((src, body));
                 }
-                let msg = c.inbox.pop_front().expect("at least one sub-frame");
-                self.book.free(msg.1.len());
-                Some(msg)
+                match c.inbox.pop_front() {
+                    Some(msg) => {
+                        self.book.free(msg.1.len());
+                        Some(msg)
+                    }
+                    None => {
+                        self.recv_stalls.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
             }
             None => {
                 self.recv_stalls.fetch_add(1, Ordering::Relaxed);

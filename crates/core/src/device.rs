@@ -29,13 +29,25 @@
 //! construction: cookies never leave the process, and each cookie is
 //! reconstructed exactly once (by the single progress call that observes the
 //! corresponding event).
+//!
+//! # Wire hardening
+//!
+//! Every packet the device sends is wrapped in an [`lci_fabric::frame`]
+//! prefix (per-destination sequence number + CRC over header, sequence, and
+//! body). On receive, [`Device::progress`] verifies the checksum and admits
+//! each `(source, sequence)` exactly once **before** any protocol decoding —
+//! in particular before any cookie is turned back into a pointer — so the
+//! fabric's corrupt/duplicate/truncate ghosts are dropped (and counted in
+//! `lci.malformed_dropped` / `lci.duplicate_dropped`) without ever reaching
+//! an unsafe path.
 
 use crate::config::LciConfig;
 use crate::faa_queue::MpmcQueue;
 use crate::pool::{Packet, PacketPool};
 use crate::protocol::{self, PacketType};
-use crate::request::{RecvRequest, ReqInner, ReqState, SendRequest};
+use crate::request::{FilledRanges, RecvRequest, ReqInner, ReqState, SendRequest};
 use bytes::Bytes;
+use lci_fabric::frame;
 use lci_fabric::{Endpoint, Event, MrKey, PacketBuf, SendError};
 use lci_trace::{Counter, EventKind};
 use parking_lot::Mutex;
@@ -168,6 +180,18 @@ struct DeviceInner {
     ep: Endpoint,
     pool: PacketPool,
     rxq: MpmcQueue<RxItem>,
+    /// RTS packets whose RTR answer was deferred for lack of resources.
+    /// Drained ahead of `rxq` so the first-packet order is preserved
+    /// (requeueing into the MPMC ring would move them behind later arrivals).
+    deferred_rts: Mutex<VecDeque<RxItem>>,
+    /// Per-destination transmit sequence counters. Held as mutexes, not
+    /// atomics: the number is stamped and only committed once the fabric
+    /// accepts the injection, so a rejected send releases its number without
+    /// leaving a gap (a burned sequence would stall the receiver's dedup
+    /// watermark forever).
+    tx_seq: Vec<Mutex<u64>>,
+    /// Per-source receive admission gates (duplicate-frame rejection).
+    rx_gate: Mutex<Vec<frame::SeqGate>>,
     pending_puts: Mutex<VecDeque<PendingPut>>,
     pending_frags: Mutex<VecDeque<PendingFrags>>,
     progress_lock: Mutex<()>,
@@ -190,19 +214,31 @@ impl Device {
     /// Build a device over a fabric endpoint.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid or the eager limit exceeds the
+    /// Panics if the configuration is invalid or a framed packet
+    /// (`packet_payload` plus the transport-frame prefix) exceeds the
     /// fabric's maximum payload.
     pub fn new(ep: Endpoint, cfg: LciConfig) -> Device {
         cfg.validate().expect("invalid LciConfig");
         assert!(
-            cfg.eager_limit <= ep.config().max_payload,
-            "eager_limit exceeds fabric max_payload"
+            cfg.packet_payload + frame::FRAME_OVERHEAD <= ep.config().max_payload,
+            "packet_payload + frame overhead exceeds fabric max_payload"
         );
+        let num_hosts = ep.num_hosts();
         let rx_capacity = ep.config().rx_buffers.max(cfg.packet_count);
         Device {
             inner: Arc::new(DeviceInner {
-                pool: PacketPool::new(cfg.packet_count, cfg.packet_payload, cfg.pool_shards),
+                // Pool packets are sized to carry a full protocol payload
+                // *plus* the transport-frame prefix, so framing never costs
+                // a copy and the eager limit keeps its configured meaning.
+                pool: PacketPool::new(
+                    cfg.packet_count,
+                    cfg.packet_payload + frame::FRAME_OVERHEAD,
+                    cfg.pool_shards,
+                ),
                 rxq: MpmcQueue::new(rx_capacity),
+                deferred_rts: Mutex::new(VecDeque::new()),
+                tx_seq: (0..num_hosts).map(|_| Mutex::new(0)).collect(),
+                rx_gate: Mutex::new((0..num_hosts).map(|_| frame::SeqGate::new()).collect()),
                 pending_puts: Mutex::new(VecDeque::new()),
                 pending_frags: Mutex::new(VecDeque::new()),
                 progress_lock: Mutex::new(()),
@@ -257,16 +293,30 @@ impl Device {
         self.inner.pool.outstanding()
     }
 
-    /// Inject a packet whose first `len` bytes are the wire payload, handing
-    /// ownership to a `FreePacket` completion on success and returning the
-    /// packet to the pool on failure.
+    /// Inject a packet whose first `len` bytes are the wire payload (frame
+    /// prefix followed by the protocol body), handing ownership to a
+    /// `FreePacket` completion on success and returning the packet to the
+    /// pool on failure.
+    ///
+    /// The transport-frame prefix is stamped here, under the destination's
+    /// sequence lock, and the sequence number is committed only if the
+    /// fabric accepts the injection — a rejected send releases its number so
+    /// the receiver's dedup watermark never sees a gap.
     fn send_packet(
         &self,
         dst: u16,
         header: u64,
-        packet: Packet,
+        mut packet: Packet,
         len: usize,
     ) -> Result<(), EnqError> {
+        debug_assert!(len >= frame::FRAME_OVERHEAD);
+        let inner = &self.inner;
+        if dst as usize >= inner.tx_seq.len() {
+            inner.pool.free(packet);
+            return Err(EnqError::Closed);
+        }
+        let mut seq = inner.tx_seq[dst as usize].lock();
+        frame::stamp(header, *seq, &mut packet[..len]);
         let raw = Box::into_raw(Box::new(Completion::FreePacket(packet)));
         // SAFETY: `raw` is valid and uniquely ours until the fabric accepts
         // the cookie; the borrow of the packet ends before any hand-off.
@@ -276,14 +326,17 @@ impl Device {
                 Completion::PutSent(_) => unreachable!(),
             }
         };
-        match self.inner.ep.try_send(dst, header, buf, raw as u64) {
-            Ok(()) => Ok(()),
+        match inner.ep.try_send(dst, header, buf, raw as u64) {
+            Ok(()) => {
+                *seq += 1;
+                Ok(())
+            }
             Err(e) => {
                 // SAFETY: the fabric rejected the operation, so the cookie
                 // was never handed off; reclaim it here.
                 let comp = unsafe { Box::from_raw(raw) };
                 if let Completion::FreePacket(p) = *comp {
-                    self.inner.pool.free(p);
+                    inner.pool.free(p);
                 }
                 Err(match e {
                     SendError::Backpressure => EnqError::Backpressure,
@@ -321,11 +374,12 @@ impl Device {
             return Err(EnqError::NoPacket);
         };
 
+        const FO: usize = frame::FRAME_OVERHEAD;
         if data.len() <= inner.cfg.eager_limit {
             let len = data.len();
-            packet[..len].copy_from_slice(&data);
+            packet[FO..FO + len].copy_from_slice(&data);
             let header = protocol::pack(PacketType::Egr, tag, len as u64);
-            self.send_packet(dst, header, packet, len).inspect_err(|e| {
+            self.send_packet(dst, header, packet, FO + len).inspect_err(|e| {
                 if e.is_retryable() {
                     inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
                     lci_trace::incr(Counter::LciEnqRejected);
@@ -342,9 +396,9 @@ impl Device {
             let len = data.len();
             let req = ReqInner::new(dst, tag, len, ReqState::SendPayload(data));
             let cookie = req_cookie(Arc::clone(&req));
-            packet[..8].copy_from_slice(&protocol::encode_rts(cookie));
+            packet[FO..FO + 8].copy_from_slice(&protocol::encode_rts(cookie));
             let header = protocol::pack(PacketType::Rts, tag, len as u64);
-            match self.send_packet(dst, header, packet, 8) {
+            match self.send_packet(dst, header, packet, FO + 8) {
                 Ok(()) => {
                     inner.stats.rdv_opened.fetch_add(1, Ordering::Relaxed);
                     lci_trace::incr(Counter::LciRdvOpened);
@@ -408,11 +462,25 @@ impl Device {
     /// complete once the peer's put lands.
     pub fn recv_deq(&self) -> Option<RecvRequest> {
         let inner = &self.inner;
-        let item = inner.rxq.try_pop()?;
+        // First-packet policy: an RTS whose RTR was deferred for lack of
+        // resources must surface before anything that arrived after it, so
+        // the side list drains ahead of the ring.
+        let item = match inner.deferred_rts.lock().pop_front() {
+            Some(item) => item,
+            None => inner.rxq.try_pop()?,
+        };
+        const FO: usize = frame::FRAME_OVERHEAD;
         match item.ty {
             PacketType::Egr => {
-                let data = item.data.into_vec();
-                debug_assert_eq!(data.len() as u64, item.size);
+                let mut data = item.data.into_vec();
+                // The frame prefix was verified in progress; strip it here.
+                data.drain(..FO);
+                if data.len() as u64 != item.size {
+                    // A header/payload length disagreement that slipped past
+                    // the checksum: drop rather than surface a lying packet.
+                    lci_trace::incr(Counter::LciMalformedDropped);
+                    return None;
+                }
                 let req =
                     ReqInner::new(item.src, item.tag, data.len(), ReqState::RecvReady(data));
                 req.mark_done();
@@ -421,11 +489,12 @@ impl Device {
                 Some(RecvRequest { inner: req })
             }
             PacketType::Rts => {
-                let Some(send_cookie) = protocol::decode_rts(&item.data) else {
+                let Some(send_cookie) = protocol::decode_rts(&item.data[FO..]) else {
+                    lci_trace::incr(Counter::LciMalformedDropped);
                     return None; // malformed control packet: drop
                 };
                 let Some(mut packet) = inner.pool.alloc() else {
-                    inner.rxq.push(item);
+                    inner.deferred_rts.lock().push_front(item);
                     return None;
                 };
                 // Landing buffer: a registered region for native RDMA, a
@@ -439,33 +508,33 @@ impl Device {
                     crate::config::PutMode::Emulated => (
                         ReqState::RecvAssembly {
                             buf: vec![0u8; item.size as usize],
-                            filled: 0,
+                            filled: FilledRanges::new(),
                         },
                         MrKey(0),
                     ),
                 };
                 let req = ReqInner::new(item.src, item.tag, item.size as usize, state);
                 let recv_cookie = req_cookie(Arc::clone(&req));
-                packet[..24].copy_from_slice(&protocol::encode_rtr(
+                packet[FO..FO + 24].copy_from_slice(&protocol::encode_rtr(
                     send_cookie,
                     key.0,
                     recv_cookie,
                 ));
                 let header = protocol::pack(PacketType::Rtr, item.tag, item.size);
-                match self.send_packet(item.src, header, packet, 24) {
+                match self.send_packet(item.src, header, packet, FO + 24) {
                     Ok(()) => {
                         inner.stats.received.fetch_add(1, Ordering::Relaxed);
                         lci_trace::incr(Counter::LciReceived);
                         Some(RecvRequest { inner: req })
                     }
                     Err(_) => {
-                        // Unwind: reclaim the cookie and MR, requeue the RTS.
+                        // Unwind: reclaim the cookie and MR, defer the RTS.
                         // SAFETY: the RTR never left.
                         let _ = unsafe { take_req(recv_cookie) };
                         if key.0 != 0 {
                             inner.ep.deregister_mr(key);
                         }
-                        inner.rxq.push(item);
+                        inner.deferred_rts.lock().push_front(item);
                         None
                     }
                 }
@@ -558,9 +627,27 @@ impl Device {
 
     fn on_recv(&self, src: u16, header: u64, data: PacketBuf) {
         let inner = &self.inner;
+        // Verify the transport frame and admit the sequence number before
+        // any protocol decoding. This is the device's sole defense for the
+        // cookie-carrying control packets below: a corrupt/truncated ghost
+        // fails the checksum, a duplicate ghost is bit-exact (so it passes)
+        // but re-uses an admitted sequence number.
+        let seq = match frame::open(header, &data) {
+            Ok((seq, _)) => seq,
+            Err(_) => {
+                lci_trace::incr(Counter::LciMalformedDropped);
+                return;
+            }
+        };
+        if !inner.rx_gate.lock()[src as usize].admit(seq) {
+            lci_trace::incr(Counter::LciDuplicateDropped);
+            return;
+        }
         let Some((ty, tag, size)) = protocol::unpack(header) else {
+            lci_trace::incr(Counter::LciMalformedDropped);
             return; // malformed
         };
+        const FO: usize = frame::FRAME_OVERHEAD;
         match ty {
             PacketType::Egr | PacketType::Rts => {
                 inner.rxq.push(RxItem {
@@ -572,7 +659,9 @@ impl Device {
                 });
             }
             PacketType::Rtr => {
-                let Some((send_cookie, key, recv_cookie)) = protocol::decode_rtr(&data) else {
+                let Some((send_cookie, key, recv_cookie)) = protocol::decode_rtr(&data[FO..])
+                else {
+                    lci_trace::incr(Counter::LciMalformedDropped);
                     return;
                 };
                 drop(data); // release the rx credit before the (long) put
@@ -615,21 +704,41 @@ impl Device {
                 }
             }
             PacketType::Frag => {
-                let Some((cookie, offset)) = protocol::decode_frag_header(&data) else {
+                let body_full = &data[FO..];
+                let Some((cookie, offset)) = protocol::decode_frag_header(body_full) else {
+                    lci_trace::incr(Counter::LciMalformedDropped);
                     return;
                 };
-                let body = &data[16..];
+                let body = &body_full[16..];
                 // SAFETY: one strong reference is parked in the cookie until
                 // the final fragment; borrowing through it (without taking
-                // ownership) is valid for every non-final fragment.
+                // ownership) is valid for every non-final fragment. Only
+                // checksummed, dedup-admitted packets reach this point, so
+                // the cookie is one we issued and have not yet consumed.
                 let req = unsafe { &*(cookie as *const ReqInner) };
                 let complete = {
                     let mut st = req.state.lock();
                     if let ReqState::RecvAssembly { buf, filled } = &mut *st {
                         let off = offset as usize;
-                        buf[off..off + body.len()].copy_from_slice(body);
-                        *filled += body.len();
-                        *filled == buf.len()
+                        match off.checked_add(body.len()) {
+                            // Copy only after both bounds and overlap checks
+                            // pass: an out-of-range fragment is dropped
+                            // instead of panicking, and a re-delivered range
+                            // can no longer double-count toward completion.
+                            Some(end) if end <= buf.len() => {
+                                if filled.insert(off, end) {
+                                    buf[off..end].copy_from_slice(body);
+                                    filled.covered() == buf.len()
+                                } else {
+                                    lci_trace::incr(Counter::LciDuplicateDropped);
+                                    false
+                                }
+                            }
+                            _ => {
+                                lci_trace::incr(Counter::LciMalformedDropped);
+                                false
+                            }
+                        }
                     } else {
                         false
                     }
@@ -656,6 +765,7 @@ impl Device {
     fn issue_frags(&self) -> usize {
         let inner = &self.inner;
         let mut q = inner.pending_frags.lock();
+        const FO: usize = frame::FRAME_OVERHEAD;
         let chunk = inner.cfg.packet_payload - 16;
         let mut issued = 0;
         while let Some(f) = q.front_mut() {
@@ -666,13 +776,13 @@ impl Device {
                 };
                 let end = (f.next_offset + chunk).min(total);
                 let len = end - f.next_offset;
-                packet[..16].copy_from_slice(&protocol::encode_frag_header(
+                packet[FO..FO + 16].copy_from_slice(&protocol::encode_frag_header(
                     f.recv_cookie,
                     f.next_offset as u64,
                 ));
-                packet[16..16 + len].copy_from_slice(&f.payload[f.next_offset..end]);
+                packet[FO + 16..FO + 16 + len].copy_from_slice(&f.payload[f.next_offset..end]);
                 let header = protocol::pack(PacketType::Frag, f.tag, total as u64);
-                match self.send_packet(f.dst, header, packet, 16 + len) {
+                match self.send_packet(f.dst, header, packet, FO + 16 + len) {
                     Ok(()) => {
                         f.next_offset = end;
                         issued += 1;

@@ -61,7 +61,7 @@ mod config;
 mod device;
 mod faa_queue;
 mod pool;
-mod protocol;
+pub mod protocol;
 mod request;
 mod server;
 mod world;

@@ -20,10 +20,15 @@ pub const MAX_TAG: u32 = (1 << 25) - 1;
 /// Maximum representable message size (36 bits).
 pub const MAX_SIZE: u64 = (1 << 36) - 1;
 
+/// The three two-sided control/data packet kinds plus the emulated-put
+/// fragment stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum PacketType {
+pub enum PacketType {
+    /// Eager data packet (at or below the rendezvous threshold).
     Egr = 0,
+    /// Ready-to-send: opens a rendezvous.
     Rts = 1,
+    /// Ready-to-receive: answers an RTS.
     Rtr = 2,
     /// Rendezvous data fragment (emulated-put mode, psm2-style).
     Frag = 3,
@@ -42,14 +47,16 @@ impl PacketType {
 }
 
 /// Fragment payload prefix: receiver request cookie + byte offset.
-pub(crate) fn encode_frag_header(recv_cookie: u64, offset: u64) -> [u8; 16] {
+pub fn encode_frag_header(recv_cookie: u64, offset: u64) -> [u8; 16] {
     let mut out = [0u8; 16];
     out[..8].copy_from_slice(&recv_cookie.to_le_bytes());
     out[8..].copy_from_slice(&offset.to_le_bytes());
     out
 }
 
-pub(crate) fn decode_frag_header(payload: &[u8]) -> Option<(u64, u64)> {
+/// Decode a fragment prefix as `(recv_cookie, offset)`; `None` on short
+/// input. Total, panic-free on arbitrary bytes.
+pub fn decode_frag_header(payload: &[u8]) -> Option<(u64, u64)> {
     if payload.len() < 16 {
         return None;
     }
@@ -58,13 +65,16 @@ pub(crate) fn decode_frag_header(payload: &[u8]) -> Option<(u64, u64)> {
     Some((c, o))
 }
 
-pub(crate) fn pack(ty: PacketType, tag: u32, size: u64) -> u64 {
+/// Pack a header as `[ty:3][tag:25][size:36]`.
+pub fn pack(ty: PacketType, tag: u32, size: u64) -> u64 {
     debug_assert!(tag <= MAX_TAG, "tag out of range");
     debug_assert!(size <= MAX_SIZE, "size out of range");
     ((ty as u64) << 61) | ((tag as u64) << 36) | size
 }
 
-pub(crate) fn unpack(header: u64) -> Option<(PacketType, u32, u64)> {
+/// Unpack a header; `None` when the type bits are invalid. Total, panic-free
+/// on arbitrary input.
+pub fn unpack(header: u64) -> Option<(PacketType, u32, u64)> {
     let ty = PacketType::from_bits(header >> 61)?;
     let tag = ((header >> 36) & MAX_TAG as u64) as u32;
     let size = header & MAX_SIZE;
@@ -72,16 +82,18 @@ pub(crate) fn unpack(header: u64) -> Option<(PacketType, u32, u64)> {
 }
 
 /// RTS payload: 8-byte little-endian sender request cookie.
-pub(crate) fn encode_rts(send_cookie: u64) -> [u8; 8] {
+pub fn encode_rts(send_cookie: u64) -> [u8; 8] {
     send_cookie.to_le_bytes()
 }
 
-pub(crate) fn decode_rts(payload: &[u8]) -> Option<u64> {
+/// Decode an RTS payload as the sender request cookie; `None` on short
+/// input. Total, panic-free on arbitrary bytes.
+pub fn decode_rts(payload: &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(payload.get(..8)?.try_into().ok()?))
 }
 
 /// RTR payload: sender cookie, memory-region key, receiver cookie.
-pub(crate) fn encode_rtr(send_cookie: u64, mr_key: u64, recv_cookie: u64) -> [u8; 24] {
+pub fn encode_rtr(send_cookie: u64, mr_key: u64, recv_cookie: u64) -> [u8; 24] {
     let mut out = [0u8; 24];
     out[..8].copy_from_slice(&send_cookie.to_le_bytes());
     out[8..16].copy_from_slice(&mr_key.to_le_bytes());
@@ -89,7 +101,9 @@ pub(crate) fn encode_rtr(send_cookie: u64, mr_key: u64, recv_cookie: u64) -> [u8
     out
 }
 
-pub(crate) fn decode_rtr(payload: &[u8]) -> Option<(u64, u64, u64)> {
+/// Decode an RTR payload as `(send_cookie, mr_key, recv_cookie)`; `None` on
+/// short input. Total, panic-free on arbitrary bytes.
+pub fn decode_rtr(payload: &[u8]) -> Option<(u64, u64, u64)> {
     if payload.len() < 24 {
         return None;
     }

@@ -15,6 +15,59 @@ const PENDING: u8 = 0;
 const DONE: u8 = 1;
 const ERROR: u8 = 2;
 
+/// Disjoint-interval accounting for fragment assembly.
+///
+/// A duplicated or corrupted fragment must not advance completion: counting
+/// raw bytes (`filled += body.len()`) would double-count a re-delivered
+/// fragment and declare the buffer complete while holes remain. This tracks
+/// the exact set of byte ranges written; overlapping inserts are rejected so
+/// the caller can drop the packet and bump a counter instead.
+#[derive(Debug, Default)]
+pub(crate) struct FilledRanges {
+    /// Sorted, disjoint, non-adjacent `(start, end)` half-open intervals.
+    ranges: Vec<(usize, usize)>,
+    total: usize,
+}
+
+impl FilledRanges {
+    pub(crate) fn new() -> Self {
+        FilledRanges::default()
+    }
+
+    /// Record `[start, end)` as filled. Returns `false` (and records
+    /// nothing) when the interval is empty or overlaps an existing one.
+    pub(crate) fn insert(&mut self, start: usize, end: usize) -> bool {
+        if start >= end {
+            return false;
+        }
+        let i = self.ranges.partition_point(|&(s, _)| s < start);
+        if i > 0 && self.ranges[i - 1].1 > start {
+            return false;
+        }
+        if i < self.ranges.len() && self.ranges[i].0 < end {
+            return false;
+        }
+        self.total += end - start;
+        let merge_left = i > 0 && self.ranges[i - 1].1 == start;
+        let merge_right = i < self.ranges.len() && self.ranges[i].0 == end;
+        match (merge_left, merge_right) {
+            (true, true) => {
+                self.ranges[i - 1].1 = self.ranges[i].1;
+                self.ranges.remove(i);
+            }
+            (true, false) => self.ranges[i - 1].1 = end,
+            (false, true) => self.ranges[i].0 = start,
+            (false, false) => self.ranges.insert(i, (start, end)),
+        }
+        true
+    }
+
+    /// Total bytes covered by recorded ranges.
+    pub(crate) fn covered(&self) -> usize {
+        self.total
+    }
+}
+
 pub(crate) enum ReqState {
     /// Nothing held (eager send, or consumed).
     Empty,
@@ -26,8 +79,8 @@ pub(crate) enum ReqState {
     RecvAssembly {
         /// The landing buffer.
         buf: Vec<u8>,
-        /// Bytes received so far.
-        filled: usize,
+        /// Byte ranges received so far.
+        filled: FilledRanges,
     },
     /// Completed receive: data ready for the user.
     RecvReady(Vec<u8>),
@@ -211,6 +264,38 @@ mod tests {
         inner.mark_done();
         assert_eq!(req.take_data(), Some(vec![1, 2, 3]));
         assert!(req.take_data().is_none(), "data can only be taken once");
+    }
+
+    #[test]
+    fn filled_ranges_coalesce_and_reject_overlap() {
+        let mut f = FilledRanges::new();
+        assert!(f.insert(0, 10));
+        assert!(f.insert(20, 30));
+        assert_eq!(f.covered(), 20);
+        // Exact duplicate and partial overlaps are rejected without effect.
+        assert!(!f.insert(0, 10));
+        assert!(!f.insert(5, 15));
+        assert!(!f.insert(15, 25));
+        assert!(!f.insert(0, 30));
+        assert!(!f.insert(7, 7), "empty interval rejected");
+        assert_eq!(f.covered(), 20);
+        // Filling the gap merges everything into one interval.
+        assert!(f.insert(10, 20));
+        assert_eq!(f.covered(), 30);
+        assert_eq!(f.ranges, vec![(0, 30)]);
+    }
+
+    #[test]
+    fn filled_ranges_merge_left_and_right() {
+        let mut f = FilledRanges::new();
+        assert!(f.insert(10, 20));
+        assert!(f.insert(20, 25)); // merge left
+        assert!(f.insert(5, 10)); // merge right
+        assert_eq!(f.ranges, vec![(5, 25)]);
+        assert_eq!(f.covered(), 20);
+        assert!(f.insert(30, 40)); // disjoint insert after
+        assert_eq!(f.ranges, vec![(5, 25), (30, 40)]);
+        assert_eq!(f.covered(), 30);
     }
 
     #[test]

@@ -96,6 +96,25 @@ pub enum Fault {
         /// Effective injection depth while the phase is active.
         max_inflight: usize,
     },
+    /// Wire corruption: every eager delivery in the phase additionally
+    /// delivers a *ghost* copy with `flips` seeded bit-flips somewhere in
+    /// its header or payload (must be ≥ 1). The original arrives intact —
+    /// this models a reliable transport whose corruption surfaces as
+    /// mangled spurious retransmissions, so no layer needs to retransmit
+    /// but every layer must detect and drop the mangled sibling.
+    Corrupt {
+        /// Bit-flips applied to each ghost copy.
+        flips: u8,
+    },
+    /// Duplicate delivery: every eager delivery in the phase is re-delivered
+    /// once, bit-for-bit identical, shortly after the original. Consumers
+    /// must deduplicate or corrupt their state.
+    Duplicate,
+    /// Truncation: every eager delivery in the phase additionally delivers
+    /// a ghost copy cut to a seeded prefix of its payload (the header
+    /// survives — the fabric models header delivery as reliable
+    /// side-channel metadata, like a completion-queue entry).
+    Truncate,
 }
 
 /// A [`Fault`] active during `[start_ns, start_ns + duration_ns)` of
@@ -179,6 +198,9 @@ impl FaultPlan {
                         "phase {i}: rnr storm target {target} out of range (num_hosts={num_hosts})"
                     ));
                 }
+                Fault::Corrupt { flips } if flips == 0 => {
+                    return Err(format!("phase {i}: corrupt flips must be >= 1"));
+                }
                 _ => {}
             }
         }
@@ -221,6 +243,29 @@ impl FaultPlan {
             .min()
     }
 
+    /// Bit-flips per corrupted ghost if a corruption phase is active at
+    /// `now_ns`.
+    pub fn corrupt_at(&self, now_ns: u64) -> Option<u8> {
+        self.phases.iter().find_map(|p| match p.fault {
+            Fault::Corrupt { flips } if p.contains(now_ns) => Some(flips),
+            _ => None,
+        })
+    }
+
+    /// Is a duplicate-delivery phase active at `now_ns`?
+    pub fn duplicate_at(&self, now_ns: u64) -> bool {
+        self.phases
+            .iter()
+            .any(|p| matches!(p.fault, Fault::Duplicate) && p.contains(now_ns))
+    }
+
+    /// Is a truncation phase active at `now_ns`?
+    pub fn truncate_at(&self, now_ns: u64) -> bool {
+        self.phases
+            .iter()
+            .any(|p| matches!(p.fault, Fault::Truncate) && p.contains(now_ns))
+    }
+
     /// Exclusive end of the last phase (0 for an empty plan).
     pub fn horizon_ns(&self) -> u64 {
         self.phases.iter().map(|p| p.end_ns()).max().unwrap_or(0)
@@ -242,8 +287,8 @@ impl FaultPlan {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        let h = horizon_ns.max(4);
-        let span = h / 4;
+        let h = horizon_ns.max(7);
+        let span = h / 7;
         let mut plan = FaultPlan::none();
         let faults = [
             Fault::LatencySpike {
@@ -259,6 +304,11 @@ impl FaultPlan {
             Fault::Brownout {
                 max_inflight: 1 + (next() % 4) as usize,
             },
+            Fault::Corrupt {
+                flips: 1 + (next() % 4) as u8,
+            },
+            Fault::Duplicate,
+            Fault::Truncate,
         ];
         for (i, fault) in faults.into_iter().enumerate() {
             let start = i as u64 * span / 2 + next() % span.max(1);
@@ -503,6 +553,24 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.validate(4).is_ok());
-        assert_eq!(a.phases.len(), 4);
+        assert_eq!(a.phases.len(), 7);
+    }
+
+    #[test]
+    fn adversarial_fault_queries_and_validation() {
+        let plan = FaultPlan::none()
+            .with_phase(0, 100, Fault::Corrupt { flips: 3 })
+            .with_phase(50, 100, Fault::Duplicate)
+            .with_phase(120, 30, Fault::Truncate);
+        assert_eq!(plan.corrupt_at(0), Some(3));
+        assert_eq!(plan.corrupt_at(100), None);
+        assert!(!plan.duplicate_at(10));
+        assert!(plan.duplicate_at(50));
+        assert!(!plan.duplicate_at(150));
+        assert!(!plan.truncate_at(100));
+        assert!(plan.truncate_at(120));
+        assert!(plan.validate(2).is_ok());
+        let bad = FaultPlan::none().with_phase(0, 10, Fault::Corrupt { flips: 0 });
+        assert!(bad.validate(2).is_err());
     }
 }

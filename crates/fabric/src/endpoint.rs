@@ -249,6 +249,7 @@ impl Endpoint {
             data: data.to_vec(),
             ctx,
             retries: 0,
+            ghost: false,
         };
         if self.fabric.inj_tx.send(op).is_err() {
             self.release_token();

@@ -52,6 +52,7 @@ mod stats;
 mod wire;
 
 pub mod busy;
+pub mod frame;
 
 pub use config::{FabricConfig, Fault, FaultPhase, FaultPlan, WireModel};
 pub use endpoint::{Endpoint, Event, FatalKind, PacketBuf};

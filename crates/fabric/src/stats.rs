@@ -22,6 +22,9 @@ pub(crate) struct EndpointStats {
     pub fault_reordered: AtomicU64,
     pub fault_forced_rnr: AtomicU64,
     pub fault_brownout_rejects: AtomicU64,
+    pub fault_corrupted: AtomicU64,
+    pub fault_duplicated: AtomicU64,
+    pub fault_truncated: AtomicU64,
 }
 
 impl EndpointStats {
@@ -96,6 +99,27 @@ impl EndpointStats {
         lci_trace::record(EventKind::Fault, 2, 0);
     }
 
+    /// A corrupted ghost copy was delivered to this endpoint.
+    pub fn record_fault_corrupted(&self) {
+        self.fault_corrupted.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultCorrupted, 1);
+        lci_trace::record(EventKind::Fault, 3, 0);
+    }
+
+    /// A duplicate ghost copy was delivered to this endpoint.
+    pub fn record_fault_duplicated(&self) {
+        self.fault_duplicated.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultDuplicated, 1);
+        lci_trace::record(EventKind::Fault, 4, 0);
+    }
+
+    /// A truncated ghost copy was delivered to this endpoint.
+    pub fn record_fault_truncated(&self) {
+        self.fault_truncated.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultTruncated, 1);
+        lci_trace::record(EventKind::Fault, 5, 0);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sends: self.sends.load(Ordering::Relaxed),
@@ -110,6 +134,9 @@ impl EndpointStats {
             fault_reordered: self.fault_reordered.load(Ordering::Relaxed),
             fault_forced_rnr: self.fault_forced_rnr.load(Ordering::Relaxed),
             fault_brownout_rejects: self.fault_brownout_rejects.load(Ordering::Relaxed),
+            fault_corrupted: self.fault_corrupted.load(Ordering::Relaxed),
+            fault_duplicated: self.fault_duplicated.load(Ordering::Relaxed),
+            fault_truncated: self.fault_truncated.load(Ordering::Relaxed),
         }
     }
 }
@@ -143,6 +170,12 @@ pub struct StatsSnapshot {
     /// `Backpressure` rejections on this endpoint caused specifically by a
     /// brownout-shrunk injection depth (a subset of `backpressure`).
     pub fault_brownout_rejects: u64,
+    /// Corrupted ghost copies delivered *to* this endpoint.
+    pub fault_corrupted: u64,
+    /// Duplicate ghost copies delivered *to* this endpoint.
+    pub fault_duplicated: u64,
+    /// Truncated ghost copies delivered *to* this endpoint.
+    pub fault_truncated: u64,
 }
 
 impl StatsSnapshot {
@@ -162,6 +195,9 @@ impl StatsSnapshot {
             + self.fault_reordered
             + self.fault_forced_rnr
             + self.fault_brownout_rejects
+            + self.fault_corrupted
+            + self.fault_duplicated
+            + self.fault_truncated
     }
 }
 
@@ -189,6 +225,9 @@ mod tests {
         s.fault_reordered.store(2, Ordering::Relaxed);
         s.fault_forced_rnr.store(3, Ordering::Relaxed);
         s.fault_brownout_rejects.store(4, Ordering::Relaxed);
-        assert_eq!(s.snapshot().fault_events(), 10);
+        s.fault_corrupted.store(5, Ordering::Relaxed);
+        s.fault_duplicated.store(6, Ordering::Relaxed);
+        s.fault_truncated.store(7, Ordering::Relaxed);
+        assert_eq!(s.snapshot().fault_events(), 28);
     }
 }

@@ -34,6 +34,11 @@ pub(crate) enum WireOp {
         data: Vec<u8>,
         ctx: u64,
         retries: u32,
+        /// A fault-injected sibling of a real send (corrupted, duplicated,
+        /// or truncated copy). Ghosts complete no send, consume no inflight
+        /// slot, are dropped silently when the receiver is not ready, and
+        /// never spawn further ghosts.
+        ghost: bool,
     },
     Put {
         src: HostId,
@@ -429,6 +434,69 @@ impl WireCore {
         while self.release_one_held() {}
     }
 
+    /// Adversarial-fault execution: when a corruption, duplication, or
+    /// truncation phase is active at delivery time, schedule mangled (or
+    /// bit-identical) *ghost* siblings of the just-delivered send shortly
+    /// after the original. The original always arrives intact — the model is
+    /// a reliable transport whose faults surface as spurious extra arrivals,
+    /// which is exactly what checksum + dedup framing above the fabric must
+    /// absorb. RDMA puts are exempt: their payload integrity is the NIC's
+    /// hardware CRC and there is no software consumer of put bytes to harden.
+    fn spawn_ghosts(&mut self, src: HostId, dst: HostId, header: u64, data: &[u8]) {
+        if self.shared.config.fault_plan.is_empty() {
+            return;
+        }
+        let now = self.now_ns();
+        let mut ghosts: Vec<(u64, Vec<u8>)> = Vec::new();
+        if self.shared.config.fault_plan.duplicate_at(now) {
+            self.shared.endpoints[dst as usize]
+                .stats
+                .record_fault_duplicated();
+            ghosts.push((header, data.to_vec()));
+        }
+        if let Some(flips) = self.shared.config.fault_plan.corrupt_at(now) {
+            let mut h = header;
+            let mut body = data.to_vec();
+            // Flip seeded bits across the whole frame: bits 0..64 land in
+            // the message header, the rest in the payload.
+            let bits = 64 + body.len() * 8;
+            for _ in 0..flips {
+                let bit = self.rng.gen_range(0..bits);
+                if bit < 64 {
+                    h ^= 1u64 << bit;
+                } else {
+                    body[(bit - 64) / 8] ^= 1 << (bit % 8);
+                }
+            }
+            self.shared.endpoints[dst as usize]
+                .stats
+                .record_fault_corrupted();
+            ghosts.push((h, body));
+        }
+        if self.shared.config.fault_plan.truncate_at(now) && !data.is_empty() {
+            let cut = self.rng.gen_range(0..data.len());
+            self.shared.endpoints[dst as usize]
+                .stats
+                .record_fault_truncated();
+            ghosts.push((header, data[..cut].to_vec()));
+        }
+        for (h, body) in ghosts {
+            let at = now + 1 + self.rng.gen_range(0..1_000u64);
+            self.push(
+                at,
+                WireOp::Send {
+                    src,
+                    dst,
+                    header: h,
+                    data: body,
+                    ctx: 0,
+                    retries: 0,
+                    ghost: true,
+                },
+            );
+        }
+    }
+
     /// Manual mode: execute one wire event. Returns `false` when idle.
     fn step(&mut self) -> bool {
         self.drain_injected();
@@ -534,6 +602,7 @@ impl WireCore {
                 data,
                 ctx,
                 retries,
+                ghost,
             } => {
                 let d = Arc::clone(&self.shared.endpoints[dst as usize]);
                 let s = Arc::clone(&self.shared.endpoints[src as usize]);
@@ -545,7 +614,7 @@ impl WireCore {
                     .config
                     .fault_plan
                     .rnr_storm_at(self.now_ns(), dst);
-                if stormed {
+                if stormed && !ghost {
                     d.stats.record_fault_forced_rnr();
                 }
                 // Consume a receive credit; only this thread decrements, so a
@@ -554,13 +623,22 @@ impl WireCore {
                     d.rx_credits.fetch_sub(1, Ordering::AcqRel);
                     let guard = CreditGuard::new(Arc::clone(&d));
                     d.stats.record_recv(src, data.len() as u64);
+                    if !ghost {
+                        self.spawn_ghosts(src, dst, header, &data);
+                    }
                     d.cq.push(Event::Recv {
                         src,
                         header,
                         data: PacketBuf::new(data, guard),
                     });
-                    s.cq.push(Event::SendDone { ctx });
-                    s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    if !ghost {
+                        s.cq.push(Event::SendDone { ctx });
+                        s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                } else if ghost {
+                    // A ghost that finds the receiver not ready vanishes: it
+                    // was never initiated by anyone, so nothing retries it
+                    // and nothing fails.
                 } else {
                     // Receiver not ready.
                     s.stats.record_rnr_retry(dst);
@@ -586,6 +664,7 @@ impl WireCore {
                                 data,
                                 ctx,
                                 retries: retries + 1,
+                                ghost: false,
                             },
                         );
                     }
@@ -746,6 +825,63 @@ mod tests {
         let t = f.sim_time_ns().unwrap();
         assert!(t >= 1_000_000, "spike not applied: clock at {t}");
         assert_eq!(a.stats().fault_delayed, 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_a_ghost_sibling() {
+        let plan = FaultPlan::none().with_phase(0, u64::MAX / 2, Fault::Duplicate);
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 3).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        a.try_send(1, 9, b"payload", 5).unwrap();
+        f.drain();
+        let mut recvs = 0;
+        while let Some(ev) = b.poll() {
+            if let Event::Recv { header, data, .. } = ev {
+                assert_eq!(header, 9, "duplicate ghosts are bit-identical");
+                assert_eq!(&*data, b"payload");
+                recvs += 1;
+            }
+        }
+        let mut send_done = 0;
+        while let Some(ev) = a.poll() {
+            if matches!(ev, Event::SendDone { ctx: 5 }) {
+                send_done += 1;
+            }
+        }
+        assert_eq!(recvs, 2, "original plus exactly one ghost");
+        assert_eq!(send_done, 1, "ghosts complete nothing");
+        assert_eq!(b.stats().fault_duplicated, 1);
+        assert_eq!(a.stats().sends, 1, "ghosts are not counted as sends");
+    }
+
+    #[test]
+    fn corrupt_and_truncate_ghosts_differ_from_the_original() {
+        let plan = FaultPlan::none()
+            .with_phase(0, u64::MAX / 2, Fault::Corrupt { flips: 1 })
+            .with_phase(0, u64::MAX / 2, Fault::Truncate);
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 7).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        a.try_send(1, 9, b"abcdefgh", 0).unwrap();
+        f.drain();
+        let mut deliveries = Vec::new();
+        while let Some(ev) = b.poll() {
+            if let Event::Recv { header, data, .. } = ev {
+                deliveries.push((header, data.into_vec()));
+            }
+        }
+        assert_eq!(deliveries.len(), 3, "original + corrupt ghost + truncate ghost");
+        let intact = deliveries
+            .iter()
+            .filter(|(h, d)| *h == 9 && d.as_slice() == b"abcdefgh")
+            .count();
+        // A single bit-flip always changes the frame, and a truncate ghost
+        // is always a strict prefix, so exactly the original is intact.
+        assert_eq!(intact, 1);
+        assert_eq!(b.stats().fault_corrupted, 1);
+        assert_eq!(b.stats().fault_truncated, 1);
+        assert_eq!(b.stats().fault_events(), 2);
     }
 
     #[test]

@@ -256,12 +256,20 @@ fn host_main<A: App>(
             match layer.try_recv(channels::REDUCE) {
                 Some((src, data)) => {
                     let plan = &part.master_recv[src as usize];
-                    let total = decode_chunk::<A::Acc>(&data, plan, identity, &deliver);
-                    let e = &mut progress_per_src[src as usize];
-                    e.0 += 1;
-                    e.1 = total;
-                    if e.0 == e.1 {
-                        completed += 1;
+                    // A chunk that fails validation is dropped whole without
+                    // touching the per-peer progress tracking (the framed
+                    // transports below guarantee the genuine chunk still
+                    // arrives, so the barrier cannot wedge).
+                    match decode_chunk::<A::Acc>(&data, plan, identity, &deliver) {
+                        Some(total) => {
+                            let e = &mut progress_per_src[src as usize];
+                            e.0 += 1;
+                            e.1 = total;
+                            if e.0 == e.1 {
+                                completed += 1;
+                            }
+                        }
+                        None => lci_trace::incr(Counter::EngineMalformedDropped),
                     }
                 }
                 None => std::thread::yield_now(),
@@ -290,7 +298,13 @@ fn host_main<A: App>(
             match layer.try_recv(channels::CONTROL) {
                 Some((_, data)) => {
                     got += 1;
-                    total += u64::from_le_bytes(data[..8].try_into().expect("control"));
+                    // Count the peer even when its frame is short, else the
+                    // barrier would hang; drop the unreadable value.
+                    if data.len() >= 8 {
+                        total += u64::from_le_bytes(data[..8].try_into().expect("len checked"));
+                    } else {
+                        lci_trace::incr(Counter::EngineMalformedDropped);
+                    }
                 }
                 None => std::thread::yield_now(),
             }
@@ -409,41 +423,64 @@ fn encode_dense_chunks<L: Label>(values: &[L], chunk_bytes: usize) -> Vec<Vec<u8
 }
 
 /// Decode one chunk, delivering its non-identity entries; returns the
-/// sender's announced chunk total for this peer/round.
+/// sender's announced chunk total for this peer/round, or `None` when the
+/// chunk fails validation (short header, zero chunk total, lying counts,
+/// plan positions out of range, unknown kind). Total and panic-free on
+/// arbitrary bytes: mangled chunks are dropped, never indexed out of bounds.
 fn decode_chunk<L: Label>(
     data: &[u8],
     plan: &[Vid],
     identity: L,
     deliver: &impl Fn(usize, L),
-) -> u16 {
-    assert!(data.len() >= 7, "chunk too short");
+) -> Option<u16> {
+    if data.len() < 7 {
+        return None;
+    }
     let kind = data[0];
-    let nchunks = u16::from_le_bytes(data[1..3].try_into().expect("header"));
+    let nchunks = u16::from_le_bytes(data[1..3].try_into().expect("len checked"));
+    if nchunks == 0 {
+        // A zero chunk total would wedge the receive barrier's progress
+        // tracking; genuine encoders always announce at least one.
+        return None;
+    }
     match kind {
         KIND_DENSE => {
             let start =
-                u32::from_le_bytes(data[3..7].try_into().expect("dense start")) as usize;
-            for (i, chunk) in data[7..].chunks_exact(L::WIRE_BYTES).enumerate() {
+                u32::from_le_bytes(data[3..7].try_into().expect("len checked")) as usize;
+            let body = &data[7..];
+            let n = body.len() / L::WIRE_BYTES;
+            if start.checked_add(n).is_none_or(|end| end > plan.len()) {
+                return None;
+            }
+            for (i, chunk) in body.chunks_exact(L::WIRE_BYTES).enumerate() {
                 let v = L::read(chunk);
                 if v != identity {
                     deliver(plan[start + i] as usize, v);
                 }
             }
         }
-        _ => {
+        KIND_SPARSE => {
             let count =
-                u32::from_le_bytes(data[3..7].try_into().expect("sparse count")) as usize;
+                u32::from_le_bytes(data[3..7].try_into().expect("len checked")) as usize;
             let entry = 4 + L::WIRE_BYTES;
+            match count.checked_mul(entry).and_then(|n| n.checked_add(7)) {
+                Some(n) if n <= data.len() => {}
+                _ => return None,
+            }
             for i in 0..count {
                 let off = 7 + i * entry;
                 let pos =
                     u32::from_le_bytes(data[off..off + 4].try_into().expect("entry")) as usize;
                 let v = L::read(&data[off + 4..]);
-                deliver(plan[pos] as usize, v);
+                let Some(&lid) = plan.get(pos) else {
+                    return None;
+                };
+                deliver(lid as usize, v);
             }
         }
+        _ => return None,
     }
-    nchunks
+    Some(nchunks)
 }
 
 #[cfg(test)]
@@ -460,7 +497,8 @@ mod tests {
         for c in &chunks {
             let total = decode_chunk::<u32>(c, &plan, u32::MAX, &|lid, v| {
                 got.lock().unwrap()[lid] = v;
-            });
+            })
+            .expect("valid chunk");
             assert_eq!(total as usize, chunks.len());
         }
         let got = got.into_inner().unwrap();
@@ -479,7 +517,8 @@ mod tests {
         for c in &chunks {
             decode_chunk::<u32>(c, &plan, 0, &|lid, v| {
                 got.lock().unwrap()[lid] = v;
-            });
+            })
+            .expect("valid chunk");
         }
         let got = got.into_inner().unwrap();
         for i in 0..50u32 {
@@ -494,7 +533,8 @@ mod tests {
         let plan: Vec<Vid> = vec![];
         let total = decode_chunk::<u32>(&chunks[0], &plan, u32::MAX, &|_, _| {
             panic!("no entries expected")
-        });
+        })
+        .expect("valid chunk");
         assert_eq!(total, 1);
         let chunks = encode_dense_chunks::<u32>(&[], 1024);
         assert_eq!(chunks.len(), 1);
@@ -508,7 +548,44 @@ mod tests {
         let seen = std::sync::Mutex::new(Vec::new());
         decode_chunk::<u32>(&chunks[0], &plan, u32::MAX, &|lid, v| {
             seen.lock().unwrap().push((lid, v));
-        });
+        })
+        .expect("valid chunk");
         assert_eq!(seen.into_inner().unwrap(), vec![(0, 5), (2, 9)]);
+    }
+
+    #[test]
+    fn malformed_chunks_are_rejected_not_panicked() {
+        let plan: Vec<Vid> = (0..4).collect();
+        let no_deliver = |_: usize, _: u32| panic!("malformed chunk must not deliver");
+
+        // Short header.
+        for cut in 0..7 {
+            let data = vec![0u8; cut];
+            assert_eq!(decode_chunk::<u32>(&data, &plan, 0, &no_deliver), None);
+        }
+        // Zero announced chunk total (would wedge the barrier).
+        let mut zero = vec![KIND_SPARSE, 0, 0];
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_chunk::<u32>(&zero, &plan, 0, &no_deliver), None);
+        // Sparse count claiming more entries than the bytes carry.
+        let mut lying = vec![KIND_SPARSE, 1, 0];
+        lying.extend_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(decode_chunk::<u32>(&lying, &plan, 0, &no_deliver), None);
+        // Sparse position outside the plan.
+        let mut oob = vec![KIND_SPARSE, 1, 0];
+        oob.extend_from_slice(&1u32.to_le_bytes());
+        oob.extend_from_slice(&99u32.to_le_bytes());
+        oob.extend_from_slice(&7u32.to_le_bytes());
+        assert_eq!(decode_chunk::<u32>(&oob, &plan, 0, &no_deliver), None);
+        // Dense segment overrunning the plan.
+        let mut dense = vec![KIND_DENSE, 1, 0];
+        dense.extend_from_slice(&3u32.to_le_bytes());
+        dense.extend_from_slice(&5u32.to_le_bytes());
+        dense.extend_from_slice(&6u32.to_le_bytes());
+        assert_eq!(decode_chunk::<u32>(&dense, &plan, 0, &no_deliver), None);
+        // Unknown kind byte.
+        let mut unk = vec![7u8, 1, 0];
+        unk.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_chunk::<u32>(&unk, &plan, 0, &no_deliver), None);
     }
 }

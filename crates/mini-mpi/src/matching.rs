@@ -48,6 +48,30 @@ impl UnexMsg {
     }
 }
 
+/// Decode an RTS envelope as `(size, send_cookie)`; `None` on short input.
+/// Total and panic-free: RTS bodies reach this from the wire, and the
+/// hardened progress path drops short ones instead of unwrapping.
+pub(crate) fn decode_rts_envelope(body: &[u8]) -> Option<(usize, u64)> {
+    if body.len() < 16 {
+        return None;
+    }
+    let size = u64::from_le_bytes(body[..8].try_into().ok()?) as usize;
+    let cookie = u64::from_le_bytes(body[8..16].try_into().ok()?);
+    Some((size, cookie))
+}
+
+/// Decode an RTR envelope as `(send_cookie, mr_key, recv_cookie)`; `None` on
+/// short input. Total and panic-free on arbitrary bytes.
+pub(crate) fn decode_rtr_envelope(body: &[u8]) -> Option<(u64, u64, u64)> {
+    if body.len() < 24 {
+        return None;
+    }
+    let a = u64::from_le_bytes(body[..8].try_into().ok()?);
+    let b = u64::from_le_bytes(body[8..16].try_into().ok()?);
+    let c = u64::from_le_bytes(body[16..24].try_into().ok()?);
+    Some((a, b, c))
+}
+
 /// A receive posted before its message arrived.
 pub(crate) struct PostedRecv {
     pub src: Option<u16>,
@@ -182,6 +206,26 @@ mod tests {
         assert!(m.probe(Some(9), None).is_some());
         assert_eq!(m.drain_traversed(), 10, "wildcard miss scans everything");
         assert_eq!(m.drain_traversed(), 0);
+    }
+
+    #[test]
+    fn envelope_decoders_are_total() {
+        let mut rts = [0u8; 16];
+        rts[..8].copy_from_slice(&512u64.to_le_bytes());
+        rts[8..16].copy_from_slice(&0xABCDu64.to_le_bytes());
+        assert_eq!(decode_rts_envelope(&rts), Some((512, 0xABCD)));
+        for cut in 0..16 {
+            assert_eq!(decode_rts_envelope(&rts[..cut]), None);
+        }
+
+        let mut rtr = [0u8; 24];
+        rtr[..8].copy_from_slice(&1u64.to_le_bytes());
+        rtr[8..16].copy_from_slice(&2u64.to_le_bytes());
+        rtr[16..24].copy_from_slice(&3u64.to_le_bytes());
+        assert_eq!(decode_rtr_envelope(&rtr), Some((1, 2, 3)));
+        for cut in 0..24 {
+            assert_eq!(decode_rtr_envelope(&rtr[..cut]), None);
+        }
     }
 
     #[test]

@@ -13,12 +13,16 @@
 //! progresses continuously.
 
 use crate::error::MpiError;
-use crate::matching::{Matching, MpiStatus, PostedRecv, UnexBody, UnexMsg};
+use crate::matching::{
+    decode_rts_envelope, decode_rtr_envelope, Matching, MpiStatus, PostedRecv, UnexBody, UnexMsg,
+};
 use crate::personality::Personality;
 use crate::rma::{RmaState, WinRegistry};
 use bytes::Bytes;
 use lci_fabric::busy::spin_for_ns;
+use lci_fabric::frame;
 use lci_fabric::{Endpoint, Event, MemRegion, SendError};
+use lci_trace::Counter;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -250,6 +254,13 @@ pub(crate) struct State {
     pub matching: Matching,
     reorder: Vec<Reorder>,
     pending_puts: Vec<PendingPut>,
+    /// Per-destination transport-frame sequence counters. Plain integers:
+    /// every wire send happens under the state lock, and `wire_send` never
+    /// abandons a message (it retries until accepted or the communicator
+    /// fails fatally), so allocation is gap-free.
+    wire_seq: Vec<u64>,
+    /// Per-source transport-frame admission gates (duplicate rejection).
+    rx_gate: Vec<frame::SeqGate>,
     pub rma: RmaState,
     pub failed: Option<String>,
 }
@@ -283,6 +294,8 @@ impl MpiComm {
                     matching: Matching::default(),
                     reorder: (0..nranks).map(|_| Reorder::default()).collect(),
                     pending_puts: Vec::new(),
+                    wire_seq: vec![0; nranks],
+                    rx_gate: (0..nranks).map(|_| frame::SeqGate::new()).collect(),
                     rma: RmaState::default(),
                     failed: None,
                 }),
@@ -390,8 +403,14 @@ impl MpiComm {
         data: &[u8],
         ctx: u64,
     ) -> Result<(), MpiError> {
+        // Frame once, outside the retry loop: the sequence number is
+        // allocated here and the same framed bytes are re-offered until the
+        // NIC accepts, so the receiver's dedup gate never sees a gap.
+        let seq = st.wire_seq[dst as usize];
+        st.wire_seq[dst as usize] += 1;
+        let framed = frame::seal(header, seq, data);
         loop {
-            match self.inner.ep.try_send(dst, header, data, ctx) {
+            match self.inner.ep.try_send(dst, header, &framed, ctx) {
                 Ok(()) => return Ok(()),
                 Err(SendError::Backpressure) => {
                     // Drain our own completions while waiting, or we can
@@ -415,17 +434,46 @@ impl MpiComm {
         while let Some(ev) = inner.ep.poll() {
             match ev {
                 Event::Recv { src, header, data } => {
+                    // Verify the transport frame and admit its sequence
+                    // number before decoding anything — in particular before
+                    // the cookie-carrying RTR below is trusted. Ghost copies
+                    // injected by the fabric's corrupt/truncate faults fail
+                    // the checksum; duplicate ghosts are bit-exact but
+                    // re-use an admitted sequence number.
+                    let wire_seq = match frame::open(header, &data) {
+                        Ok((s, _)) => s,
+                        Err(_) => {
+                            lci_trace::incr(Counter::MpiMalformedDropped);
+                            continue;
+                        }
+                    };
+                    if !st.rx_gate[src as usize].admit(wire_seq) {
+                        lci_trace::incr(Counter::MpiDuplicateDropped);
+                        continue;
+                    }
                     let (kind, tag, seq) = unpack(header);
                     match kind {
                         KIND_EAGER | KIND_RTS => {
+                            let mut raw = data.into_vec();
+                            raw.drain(..frame::FRAME_OVERHEAD);
                             let msg = SeqMsg {
                                 seq,
                                 tag,
                                 kind,
-                                data: data.into_vec(),
+                                data: raw,
                             };
                             let ready = {
                                 let r = &mut st.reorder[src as usize];
+                                // Defense in depth behind the wire gate: a
+                                // message sequence we already released (or
+                                // one already held) can only be a duplicate
+                                // and must not wedge or corrupt the resequencer.
+                                if msg.seq < r.next
+                                    || r.held.iter().any(|Reverse(m)| m.seq == msg.seq)
+                                {
+                                    lci_trace::incr(Counter::MpiDuplicateDropped);
+                                    continue;
+                                }
                                 r.held.push(Reverse(msg));
                                 // Release everything now deliverable in order.
                                 let mut ready = Vec::new();
@@ -445,15 +493,16 @@ impl MpiComm {
                             }
                         }
                         KIND_RTR => {
-                            let body = &data[..];
-                            let send_cookie =
-                                u64::from_le_bytes(body[..8].try_into().unwrap());
-                            let key =
-                                u64::from_le_bytes(body[8..16].try_into().unwrap());
-                            let recv_cookie =
-                                u64::from_le_bytes(body[16..24].try_into().unwrap());
+                            let Some((send_cookie, key, recv_cookie)) =
+                                decode_rtr_envelope(&data[frame::FRAME_OVERHEAD..])
+                            else {
+                                lci_trace::incr(Counter::MpiMalformedDropped);
+                                continue;
+                            };
                             drop(data);
                             // SAFETY: our RTS carried the cookie; one answer.
+                            // Only checksummed, dedup-admitted frames reach
+                            // this reconstruction.
                             let req = unsafe { take_req(send_cookie) };
                             let payload = {
                                 let mut p = req.payload.lock();
@@ -476,7 +525,7 @@ impl MpiComm {
                         KIND_RMA_POST => st.rma.on_post(tag as u64),
                         KIND_RMA_COMPLETE => st.rma.on_complete(tag as u64, src),
                         KIND_RMA_FENCE => st.rma.on_fence(tag as u64),
-                        _ => {}
+                        _ => lci_trace::incr(Counter::MpiMalformedDropped),
                     }
                 }
                 Event::SendDone { ctx } => {
@@ -571,8 +620,10 @@ impl MpiComm {
                 }
             }
             KIND_RTS => {
-                let size = u64::from_le_bytes(m.data[..8].try_into().unwrap()) as usize;
-                let send_cookie = u64::from_le_bytes(m.data[8..16].try_into().unwrap());
+                let Some((size, send_cookie)) = decode_rts_envelope(&m.data) else {
+                    lci_trace::incr(Counter::MpiMalformedDropped);
+                    return;
+                };
                 if let Some(posted) = st.matching.take_posted(src, m.tag) {
                     self.start_rendezvous_recv(st, src, m.tag, size, send_cookie, posted.req);
                 } else {

@@ -84,6 +84,9 @@ counters! {
     (FabricFaultReordered, "fabric.fault.reordered", Count),
     (FabricFaultForcedRnr, "fabric.fault.forced_rnr", Count),
     (FabricFaultBrownoutRejects, "fabric.fault.brownout_rejects", Count),
+    (FabricFaultCorrupted, "fabric.fault.corrupted", Count),
+    (FabricFaultDuplicated, "fabric.fault.duplicated", Count),
+    (FabricFaultTruncated, "fabric.fault.truncated", Count),
     // -- lci core: device / pool / backoff --------------------------------
     (LciEgrSent, "lci.egr_sent", Count),
     (LciRdvOpened, "lci.rdv_opened", Count),
@@ -96,12 +99,18 @@ counters! {
     (LciPoolExhausted, "lci.pool_exhausted", Count),
     (LciBackoffWaits, "lci.backoff_waits", Count),
     (LciBackoffWaitNs, "lci.backoff_wait_ns", Nanos),
+    (LciMalformedDropped, "lci.malformed_dropped", Count),
+    (LciDuplicateDropped, "lci.duplicate_dropped", Count),
+    // -- mini-mpi: wire-frame hardening -----------------------------------
+    (MpiMalformedDropped, "mpi.malformed_dropped", Count),
+    (MpiDuplicateDropped, "mpi.duplicate_dropped", Count),
     // -- engines: abelian / gemini ----------------------------------------
     (EngineRounds, "engine.rounds", Count),
     (EngineSentEntries, "engine.sent_entries", Count),
     (EngineSentBytes, "engine.sent_bytes", Bytes),
     (EngineCommSendRetries, "engine.comm_send_retries", Count),
     (EngineCommRecvStalls, "engine.comm_recv_stalls", Count),
+    (EngineMalformedDropped, "engine.malformed_dropped", Count),
     // -- phase timers (accumulated by Span guards) ------------------------
     (PhaseComputeNs, "phase.compute_ns", Nanos),
     (PhaseReduceNs, "phase.reduce_ns", Nanos),

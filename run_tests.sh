@@ -8,7 +8,10 @@
 # Chaos profile: re-run the stress suite across a fixed matrix of fabric
 # seeds. Fault schedules are a pure function of the seed, so each value is
 # a *distinct, reproducible* chaos schedule — a failure under seed S is
-# replayed exactly with `FABRIC_SEED=S cargo test --test stress`.
+# replayed exactly with `FABRIC_SEED=S cargo test --test stress`. The
+# profile also runs the wire-hardening suite (frame/decoder proptests +
+# corrupt/duplicate/truncate chaos runs) and clippy over the fault-bearing
+# crates (fabric frame/wire, lci protocol, mini-mpi).
 #
 # Bench-smoke: a seconds-scale benchmark (tiny deterministic graph, 2
 # simulated hosts) that writes `results/BENCH_smoke.json` and diffs its
@@ -52,4 +55,8 @@ for seed in 1 7 42 1337; do
     echo "=== chaos: stress suite, FABRIC_SEED=$seed ==="
     FABRIC_SEED=$seed cargo test --release -q --test stress
 done
+echo "=== chaos: wire hardening (corrupt/duplicate/truncate) ==="
+cargo test --release -q --test wire_hardening
+echo "=== chaos: clippy (fault-bearing crates) ==="
+cargo clippy --release -p lci-fabric -p lci -p mini-mpi -- -D warnings
 echo "ALL TESTS OK"

@@ -1,0 +1,248 @@
+//! Wire-hardening suite: the adversarial half of the chaos tests.
+//!
+//! Three families:
+//!
+//! 1. **Frame-layer proptests** — the fabric's checksum + sequence framing
+//!    ([`lci_fabric::frame`]) round-trips losslessly, rejects every bit flip
+//!    and truncation, never panics on arbitrary bytes, and the [`SeqGate`]
+//!    admits each sequence number exactly once in any arrival order.
+//! 2. **Decoder fuzz** — every LCI protocol decoder is total: arbitrary
+//!    bytes produce `None`/`Err`, never a panic. (The mini-mpi envelope
+//!    decoders have the same property, asserted by in-crate unit tests since
+//!    they are crate-private.)
+//! 3. **End-to-end chaos** — seeded runs with `Corrupt`, `Duplicate` and
+//!    `Truncate` all active for the whole run, on all three communication
+//!    layers and both engines (including LCI's emulated-put fragment
+//!    streams): results must be bit-identical to the fault-free reference,
+//!    the fault injector must have actually fired, and the hardened decode
+//!    paths must show non-zero ghost-drop counters.
+
+use abelian::apps::{reference, Bfs, Cc};
+use abelian::{build_layers, run_app, EngineConfig, LayerKind};
+use gemini::{run_gemini, GeminiConfig};
+use lci_fabric::frame::{self, SeqGate, FRAME_OVERHEAD};
+use lci_fabric::{FabricConfig, Fault, FaultPlan};
+use lci_graph::{gen, partition, Policy};
+use lci_trace::{Counter, CounterSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---- 1. frame-layer properties --------------------------------------------
+
+proptest! {
+    #[test]
+    fn frame_roundtrip(
+        header in any::<u64>(),
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let framed = frame::seal(header, seq, &body);
+        prop_assert_eq!(framed.len(), FRAME_OVERHEAD + body.len());
+        let (got_seq, got_body) = frame::open(header, &framed).expect("sealed frame opens");
+        prop_assert_eq!(got_seq, seq);
+        prop_assert_eq!(got_body, &body[..]);
+    }
+
+    #[test]
+    fn frame_open_is_total_on_arbitrary_bytes(
+        header in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Must never panic; the result itself is unconstrained (random bytes
+        // that happen to checksum are astronomically unlikely but legal).
+        let _ = frame::open(header, &bytes);
+    }
+
+    #[test]
+    fn frame_rejects_every_bit_flip(
+        header in any::<u64>(),
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+        bit_sel in any::<u32>(),
+    ) {
+        let framed = frame::seal(header, seq, &body);
+        let bit = bit_sel as usize % (framed.len() * 8);
+        let mut bad = framed.clone();
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(frame::open(header, &bad).is_err(), "flip at bit {} passed", bit);
+        // Header flips are covered by the checksum too.
+        let hbit = bit_sel % 64;
+        prop_assert!(frame::open(header ^ (1u64 << hbit), &framed).is_err());
+    }
+
+    #[test]
+    fn frame_rejects_every_truncation(
+        header in any::<u64>(),
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+        cut_sel in any::<u32>(),
+    ) {
+        let framed = frame::seal(header, seq, &body);
+        let cut = cut_sel as usize % framed.len();
+        prop_assert!(frame::open(header, &framed[..cut]).is_err(), "cut to {} passed", cut);
+    }
+
+    #[test]
+    fn seq_gate_admits_each_seq_exactly_once(
+        seqs in proptest::collection::vec(0u64..128, 1..256),
+    ) {
+        let mut gate = SeqGate::new();
+        let mut seen = std::collections::HashSet::new();
+        for &s in &seqs {
+            prop_assert_eq!(gate.admit(s), seen.insert(s), "seq {} mis-gated", s);
+        }
+    }
+
+    // ---- 2. protocol decoder fuzz -----------------------------------------
+
+    #[test]
+    fn lci_protocol_decoders_are_total(
+        header in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Totality only: arbitrary input must decode or reject, never panic.
+        let _ = lci::protocol::unpack(header);
+        let _ = lci::protocol::decode_rts(&bytes);
+        let _ = lci::protocol::decode_rtr(&bytes);
+        let _ = lci::protocol::decode_frag_header(&bytes);
+    }
+
+    #[test]
+    fn lci_header_roundtrip(tag in 0u32..=lci::MAX_TAG, size in 0u64..=lci::MAX_SIZE) {
+        use lci::protocol::{pack, unpack, PacketType};
+        for ty in [PacketType::Egr, PacketType::Rts, PacketType::Rtr, PacketType::Frag] {
+            let (t, g, s) = unpack(pack(ty, tag, size)).expect("valid header");
+            prop_assert_eq!(t, ty);
+            prop_assert_eq!(g, tag);
+            prop_assert_eq!(s, size);
+        }
+    }
+}
+
+// ---- 3. end-to-end chaos ---------------------------------------------------
+
+/// All phases outlive the run: threaded fabrics judge phases against the
+/// wall clock (see `cross_layer_equivalence.rs`).
+const WHOLE_RUN: u64 = u64::MAX / 2;
+
+/// All three adversarial wire faults at once, for the whole run. Three flips
+/// per corrupt ghost keeps CRC-32 detection certain (it catches every error
+/// of weight < 4 at these frame lengths), so the runs are deterministic.
+fn adversarial_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_phase(0, WHOLE_RUN, Fault::Corrupt { flips: 3 })
+        .with_phase(0, WHOLE_RUN, Fault::Duplicate)
+        .with_phase(0, WHOLE_RUN, Fault::Truncate)
+}
+
+/// Total ghost rejections recorded by the hardened decode paths.
+fn ghost_drops(delta: &CounterSnapshot) -> u64 {
+    [
+        Counter::LciMalformedDropped,
+        Counter::LciDuplicateDropped,
+        Counter::MpiMalformedDropped,
+        Counter::MpiDuplicateDropped,
+        Counter::EngineMalformedDropped,
+    ]
+    .iter()
+    .map(|&c| delta.get(c))
+    .sum()
+}
+
+fn assert_faults_fired_and_ghosts_dropped(delta: &CounterSnapshot, what: &str) {
+    assert!(delta.get(Counter::FabricFaultCorrupted) > 0, "{what}: no corrupt ghosts injected");
+    assert!(delta.get(Counter::FabricFaultDuplicated) > 0, "{what}: no duplicate ghosts injected");
+    assert!(delta.get(Counter::FabricFaultTruncated) > 0, "{what}: no truncate ghosts injected");
+    assert!(ghost_drops(delta) > 0, "{what}: hardened decoders rejected nothing");
+}
+
+#[test]
+fn abelian_survives_adversarial_wire_faults_on_all_layers() {
+    let g = gen::randomize_weights(&gen::rmat(6, 4, 0xBEEF), 10, 0xBEEF ^ 0x55);
+    let source = 2 % g.num_vertices() as u32;
+    let parts = partition(&g, 3, Policy::VertexCutHash);
+    parts.validate(&g);
+    let expect = reference::bfs(&g, source);
+    for kind in LayerKind::all() {
+        let before = lci_trace::global().snapshot();
+        let (layers, _world) = build_layers(
+            kind,
+            FabricConfig::test(3)
+                .with_seed(0xD0D0)
+                .with_fault_plan(adversarial_plan()),
+            mini_mpi::MpiConfig::default().with_personality(mini_mpi::Personality::zero()),
+            lci::LciConfig::for_hosts(3),
+        );
+        let got = run_app(
+            &parts,
+            Arc::new(Bfs { source }),
+            &layers,
+            &EngineConfig::default(),
+        )
+        .values;
+        assert_eq!(got, expect, "layer {} corrupted results", kind.name());
+        let delta = lci_trace::global().snapshot().delta(&before);
+        assert_faults_fired_and_ghosts_dropped(&delta, kind.name());
+    }
+}
+
+/// LCI in emulated-put mode streams rendezvous payloads as fragment packets;
+/// corrupt/truncate/duplicate ghosts of those fragments attack the Frag
+/// reassembly path specifically (offset bounds, duplicate-range accounting).
+/// A tiny eager limit forces nearly all engine traffic onto that path.
+#[test]
+fn emulated_put_frag_streams_survive_adversarial_wire_faults() {
+    let g = gen::rmat(7, 6, 0xF7A6);
+    let parts = partition(&g, 3, Policy::VertexCutCartesian);
+    parts.validate(&g);
+    let expect = reference::cc(&g);
+    let before = lci_trace::global().snapshot();
+    let (layers, _world) = build_layers(
+        LayerKind::Lci,
+        FabricConfig::test(3)
+            .with_seed(0xF7A6)
+            .with_fault_plan(adversarial_plan()),
+        mini_mpi::MpiConfig::default().with_personality(mini_mpi::Personality::zero()),
+        lci::LciConfig::for_hosts(3)
+            .with_put_mode(lci::PutMode::Emulated)
+            .with_eager_limit(256),
+    );
+    let got = run_app(&parts, Arc::new(Cc), &layers, &EngineConfig::default()).values;
+    assert_eq!(got, expect, "frag streams corrupted results");
+    let delta = lci_trace::global().snapshot().delta(&before);
+    assert_faults_fired_and_ghosts_dropped(&delta, "emulated-put lci");
+}
+
+#[test]
+fn gemini_chunk_streams_survive_adversarial_wire_faults() {
+    let g = gen::rmat(7, 6, 0x6E31);
+    let parts = partition(&g, 3, Policy::EdgeCutBlocked);
+    parts.validate(&g);
+    let expect = reference::cc(&g);
+    for kind in LayerKind::all() {
+        // Small chunks stress the chunk de-framing; the RMA layer's one slot
+        // per peer requires chunking off (see `GeminiConfig::chunk_bytes`).
+        let chunk_bytes = if matches!(kind, LayerKind::MpiRma) {
+            usize::MAX
+        } else {
+            1 << 10
+        };
+        let before = lci_trace::global().snapshot();
+        let (layers, _world) = build_layers(
+            kind,
+            FabricConfig::test(3)
+                .with_seed(0x6E31)
+                .with_fault_plan(adversarial_plan()),
+            mini_mpi::MpiConfig::default().with_personality(mini_mpi::Personality::zero()),
+            lci::LciConfig::for_hosts(3),
+        );
+        let cfg = GeminiConfig {
+            chunk_bytes,
+            ..GeminiConfig::default()
+        };
+        let got = run_gemini(&parts, Arc::new(Cc), &layers, &cfg).values;
+        assert_eq!(got, expect, "gemini over {} corrupted results", kind.name());
+        let delta = lci_trace::global().snapshot().delta(&before);
+        assert_faults_fired_and_ghosts_dropped(&delta, kind.name());
+    }
+}
