@@ -110,6 +110,25 @@ pub trait CommLayer: Send + Sync {
     fn degradation(&self) -> Degradation {
         Degradation::default()
     }
+
+    /// A fatal, unrecoverable failure recorded by the layer — e.g. the
+    /// transport's retransmission budget was exhausted and a peer declared
+    /// unreachable. Once this returns `Some`, the current round can never
+    /// complete: pollers must stop spinning and abort with the message.
+    /// Layers that cannot fail report `None`.
+    fn failure(&self) -> Option<String> {
+        None
+    }
+
+    /// Drive progress until everything this layer has sent is acknowledged
+    /// by its destination, or the layer fails. Hosts call this once, after
+    /// their final round, before retiring: on a lossy wire a host that
+    /// simply stops polling can still hold frames whose only copy was
+    /// dropped, and the retransmission timers that would resend them fire
+    /// only from the progress loop — the peer waiting on that data would
+    /// wedge forever. Layers whose transport cannot lose messages need no
+    /// flush and inherit this no-op.
+    fn quiesce(&self) {}
 }
 
 /// Drive a full round synchronously: send `outgoing[p]` to every peer
@@ -136,6 +155,15 @@ pub fn exchange_all(
         if let Some(msg) = layer.try_recv(channel) {
             got.push(msg);
         } else {
+            // A failed layer can never deliver the missing messages; abort
+            // loudly rather than spin forever on an unfinishable round.
+            if let Some(f) = layer.failure() {
+                panic!(
+                    "communication layer '{}' (rank {}) failed mid-exchange: {f}",
+                    layer.name(),
+                    layer.rank()
+                );
+            }
             std::thread::yield_now();
         }
     }

@@ -114,12 +114,32 @@ fn build_specs(parts: &Partitioning, entry_bytes: usize) -> (Vec<ChannelSpec>, V
 
 /// Run a vertex program over a partitioned graph on the given layers
 /// (one per host, rank order). Returns merged results and per-host metrics.
+///
+/// Panics if any host's communication layer fails fatally (e.g. a peer is
+/// declared unreachable); use [`run_app_checked`] to receive the failure as
+/// an error instead.
 pub fn run_app<A: App>(
     parts: &Partitioning,
     app: Arc<A>,
     layers: &[Arc<dyn CommLayer>],
     cfg: &EngineConfig,
 ) -> RunResult<A::Acc> {
+    run_app_checked(parts, app, layers, cfg)
+        .unwrap_or_else(|e| panic!("engine aborted: {e}"))
+}
+
+/// Like [`run_app`], but a fatal communication-layer failure (peer declared
+/// unreachable by the transport's retransmission budget, window operation
+/// failure, …) surfaces as `Err` with the first failing host's message
+/// instead of panicking. The abort is bounded: every host's receive loops
+/// poll [`CommLayer::failure`] while spinning, so no thread wedges on a
+/// round that can no longer complete.
+pub fn run_app_checked<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    layers: &[Arc<dyn CommLayer>],
+    cfg: &EngineConfig,
+) -> Result<RunResult<A::Acc>, String> {
     let p = parts.parts.len();
     assert_eq!(layers.len(), p, "one layer per host");
     let do_broadcast = cfg
@@ -128,7 +148,7 @@ pub fn run_app<A: App>(
     let entry = 4 + A::Acc::WIRE_BYTES;
     let (reduce_specs, bcast_specs) = build_specs(parts, entry);
 
-    let hosts: Vec<HostResult<A::Acc>> = std::thread::scope(|scope| {
+    let results: Vec<Result<HostResult<A::Acc>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..p)
             .map(|h| {
                 let part = &parts.parts[h];
@@ -145,6 +165,11 @@ pub fn run_app<A: App>(
         handles.into_iter().map(|h| h.join().expect("host thread")).collect()
     });
 
+    let mut hosts = Vec::with_capacity(p);
+    for r in results {
+        hosts.push(r?);
+    }
+
     let mut values = vec![app.identity(); parts.parts[0].global_n];
     let mut rounds = 0;
     for hr in &hosts {
@@ -153,11 +178,11 @@ pub fn run_app<A: App>(
             values[gid as usize] = v;
         }
     }
-    RunResult {
+    Ok(RunResult {
         hosts,
         values,
         rounds,
-    }
+    })
 }
 
 /// Frame encoding: `[count u32][(plan_index u32, value) * count]`.
@@ -203,7 +228,7 @@ fn host_main<A: App>(
     do_broadcast: bool,
     reduce_spec: ChannelSpec,
     bcast_spec: ChannelSpec,
-) -> HostResult<A::Acc> {
+) -> Result<HostResult<A::Acc>, String> {
     let p = part.num_hosts;
     let me = part.host;
     let nl = part.num_local();
@@ -349,7 +374,12 @@ fn host_main<A: App>(
                         }
                     });
                 }
-                None => std::thread::yield_now(),
+                None => {
+                    if let Some(f) = layer.failure() {
+                        return Err(format!("host {me} aborted in round {round}: {f}"));
+                    }
+                    std::thread::yield_now();
+                }
             }
         }
         reduce_span.finish();
@@ -400,7 +430,12 @@ fn host_main<A: App>(
                             }
                         });
                     }
-                    None => std::thread::yield_now(),
+                    None => {
+                        if let Some(f) = layer.failure() {
+                            return Err(format!("host {me} aborted in round {round}: {f}"));
+                        }
+                        std::thread::yield_now();
+                    }
                 }
             }
             bcast_span.finish();
@@ -440,7 +475,12 @@ fn host_main<A: App>(
                         lci_trace::incr(Counter::EngineMalformedDropped);
                     }
                 }
-                None => std::thread::yield_now(),
+                None => {
+                    if let Some(f) = layer.failure() {
+                        return Err(format!("host {me} aborted in round {round}: {f}"));
+                    }
+                    std::thread::yield_now();
+                }
             }
         }
 
@@ -462,6 +502,12 @@ fn host_main<A: App>(
             break;
         }
     }
+
+    // Flush before retiring: on a lossy wire this host may still hold the
+    // only surviving copy of a frame a peer needs, and the retransmission
+    // timers only fire while someone drives progress. A failure here is
+    // ignored — the fixpoint is already reached and the masters final.
+    layer.quiesce();
 
     let book = layer.membook();
     metrics.mem_peak = book.peak();
@@ -486,9 +532,9 @@ fn host_main<A: App>(
         })
         .collect();
 
-    HostResult {
+    Ok(HostResult {
         host: me,
         masters,
         metrics,
-    }
+    })
 }

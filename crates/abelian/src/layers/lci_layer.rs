@@ -42,6 +42,9 @@ pub struct LciLayer {
     inner: Mutex<Inner>,
     send_retries: AtomicU64,
     recv_stalls: AtomicU64,
+    /// First fatal error observed; once set the layer stops initiating work
+    /// and surfaces the message through [`CommLayer::failure`].
+    failed: Mutex<Option<String>>,
 }
 
 impl LciLayer {
@@ -58,12 +61,20 @@ impl LciLayer {
             }),
             send_retries: AtomicU64::new(0),
             recv_stalls: AtomicU64::new(0),
+            failed: Mutex::new(None),
         }
     }
 
     /// The wrapped device (diagnostics).
     pub fn device(&self) -> &Device {
         &self.dev
+    }
+
+    fn record_failure(&self, msg: String) {
+        let mut f = self.failed.lock();
+        if f.is_none() {
+            *f = Some(msg);
+        }
     }
 
     fn pump(&self, inner: &mut Inner) {
@@ -171,7 +182,15 @@ impl CommLayer for LciLayer {
                     drop(inner);
                     backoff.snooze();
                 }
-                Err(e) => panic!("LCI send failed fatally: {e}"),
+                Err(e) => {
+                    // Fatal (device closed, peer declared dead): the round
+                    // can never complete, so record the failure for the
+                    // engine's bounded abort instead of panicking the host
+                    // thread mid-lock.
+                    self.book.free(len);
+                    self.record_failure(format!("LCI send failed fatally: {e}"));
+                    return;
+                }
             }
         }
     }
@@ -197,6 +216,39 @@ impl CommLayer for LciLayer {
             send_retries: self.send_retries.load(Ordering::Relaxed)
                 + self.dev.stats().retries,
             recv_stalls: self.recv_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    fn failure(&self) -> Option<String> {
+        if let Some(msg) = self.failed.lock().clone() {
+            return Some(msg);
+        }
+        self.dev.is_failed().then(|| {
+            format!(
+                "LCI device on rank {} failed (peer unreachable or fatal fabric error)",
+                self.dev.rank()
+            )
+        })
+    }
+
+    fn quiesce(&self) {
+        loop {
+            if self.failure().is_some() {
+                return;
+            }
+            let sends_done = {
+                let mut inner = self.inner.lock();
+                self.pump(&mut inner);
+                inner.pending_sends.is_empty()
+            };
+            // Rendezvous sends complete on `PutDone`, so an empty pending
+            // list plus an empty retransmission window means every peer
+            // holds everything we sent; flushed ack debt means no peer is
+            // still retransmitting to us.
+            if sends_done && self.dev.unacked_frames() == 0 && !self.dev.acks_owed() {
+                return;
+            }
+            std::thread::yield_now();
         }
     }
 }

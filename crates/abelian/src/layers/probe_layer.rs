@@ -59,6 +59,9 @@ pub struct MpiProbeLayer {
     book: Arc<MemBook>,
     inner: Mutex<Inner>,
     recv_stalls: AtomicU64,
+    /// First fatal MPI error observed; once set the layer stops initiating
+    /// work and surfaces the message through [`CommLayer::failure`].
+    failed: Mutex<Option<String>>,
 }
 
 impl MpiProbeLayer {
@@ -75,6 +78,7 @@ impl MpiProbeLayer {
                 agg: HashMap::new(),
             }),
             recv_stalls: AtomicU64::new(0),
+            failed: Mutex::new(None),
         }
     }
 
@@ -83,12 +87,30 @@ impl MpiProbeLayer {
         &self.comm
     }
 
+    fn record_failure(&self, msg: String) {
+        let mut f = self.failed.lock();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+    }
+
     fn pump(&self, inner: &mut Inner) {
         // Probe for anything new; receive it wherever it belongs. One probe
         // per pump mirrors the paper's interleaved send/receive loop.
-        if let Ok(Some(status)) = self.comm.iprobe(None, None) {
-            if let Ok(req) = self.comm.irecv(Some(status.src), Some(status.tag)) {
-                self.track_recv(inner, req);
+        match self.comm.iprobe(None, None) {
+            Ok(Some(status)) => {
+                match self.comm.irecv(Some(status.src), Some(status.tag)) {
+                    Ok(req) => self.track_recv(inner, req),
+                    Err(e) => {
+                        self.record_failure(format!("MPI receive failed: {e}"));
+                        return;
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                self.record_failure(format!("MPI probe failed: {e}"));
+                return;
             }
         }
         // Test in-flight receives (MPI_Test also progresses the network).
@@ -100,7 +122,10 @@ impl MpiProbeLayer {
                     self.route(inner, &req);
                 }
                 Ok(false) => i += 1,
-                Err(e) => panic!("MPI receive failed: {e}"),
+                Err(e) => {
+                    self.record_failure(format!("MPI receive failed: {e}"));
+                    return;
+                }
             }
         }
         // Retire completed sends.
@@ -112,7 +137,10 @@ impl MpiProbeLayer {
                     self.book.free(bytes);
                 }
                 Ok(false) => i += 1,
-                Err(e) => panic!("MPI send failed: {e}"),
+                Err(e) => {
+                    self.record_failure(format!("MPI send failed: {e}"));
+                    return;
+                }
             }
         }
     }
@@ -121,7 +149,7 @@ impl MpiProbeLayer {
         match self.comm.test_recv(&req) {
             Ok(true) => self.route(inner, &req),
             Ok(false) => inner.pending_recvs.push(req),
-            Err(e) => panic!("MPI receive failed: {e}"),
+            Err(e) => self.record_failure(format!("MPI receive failed: {e}")),
         }
     }
 
@@ -189,9 +217,15 @@ impl MpiProbeLayer {
             Ok(req) => match self.comm.test_send(&req) {
                 Ok(true) => self.book.free(len),
                 Ok(false) => inner.pending_sends.push((req, len)),
-                Err(e) => panic!("MPI send failed: {e}"),
+                Err(e) => {
+                    self.book.free(len);
+                    self.record_failure(format!("MPI send failed: {e}"));
+                }
             },
-            Err(e) => panic!("MPI isend failed: {e}"),
+            Err(e) => {
+                self.book.free(len);
+                self.record_failure(format!("MPI isend failed: {e}"));
+            }
         }
     }
 
@@ -252,10 +286,16 @@ impl CommLayer for MpiProbeLayer {
                 match self.comm.test_send(&req) {
                     Ok(true) => self.book.free(len),
                     Ok(false) => inner.pending_sends.push((req, len)),
-                    Err(e) => panic!("MPI send failed: {e}"),
+                    Err(e) => {
+                        self.book.free(len);
+                        self.record_failure(format!("MPI send failed: {e}"));
+                    }
                 }
             }
-            Err(e) => panic!("MPI isend failed: {e}"),
+            Err(e) => {
+                self.book.free(len);
+                self.record_failure(format!("MPI isend failed: {e}"));
+            }
         }
     }
 
@@ -285,6 +325,31 @@ impl CommLayer for MpiProbeLayer {
             // internal spinning on NIC back-pressure (§III-B).
             send_retries: self.comm.backpressure_spins(),
             recv_stalls: self.recv_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.failed.lock().clone().or_else(|| self.comm.failure())
+    }
+
+    fn quiesce(&self) {
+        loop {
+            if self.failure().is_some() {
+                return;
+            }
+            // Rendezvous `isend`s only finish once the payload put lands,
+            // so draining `pending_sends` also covers an RTR that arrives
+            // after our last round — the put it triggers is issued from
+            // this same pump.
+            let sends_done = {
+                let mut inner = self.inner.lock();
+                self.pump(&mut inner);
+                inner.pending_sends.is_empty()
+            };
+            if sends_done && self.comm.quiescent() {
+                return;
+            }
+            std::thread::yield_now();
         }
     }
 }

@@ -42,6 +42,10 @@ pub struct MpiRmaLayer {
     book: Arc<MemBook>,
     chans: Mutex<HashMap<usize, Chan>>,
     recv_stalls: AtomicU64,
+    /// First fatal MPI/window error observed; once set the layer stops
+    /// initiating work and surfaces the message through
+    /// [`CommLayer::failure`].
+    failed: Mutex<Option<String>>,
 }
 
 impl MpiRmaLayer {
@@ -52,12 +56,24 @@ impl MpiRmaLayer {
             book: MemBook::new(),
             chans: Mutex::new(HashMap::new()),
             recv_stalls: AtomicU64::new(0),
+            failed: Mutex::new(None),
         }
     }
 
     /// The wrapped communicator (diagnostics).
     pub fn comm(&self) -> &MpiComm {
         &self.comm
+    }
+
+    fn record_failure(&self, msg: String) {
+        let mut f = self.failed.lock();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+    }
+
+    fn is_failed(&self) -> bool {
+        self.failed.lock().is_some()
     }
 }
 
@@ -88,7 +104,15 @@ impl CommLayer for MpiRmaLayer {
             my_offsets.push(total);
             total += 8 + spec.max_recv[o];
         }
-        let win = self.comm.win_create(total).expect("win_create");
+        let win = match self.comm.win_create(total) {
+            Ok(win) => win,
+            Err(e) => {
+                // Registration failed; every later call on this channel
+                // no-ops behind the failure flag.
+                self.record_failure(format!("RMA window creation failed: {e}"));
+                return;
+            }
+        };
         // The defining footprint of MPI-RMA: the whole worst-case window is
         // allocated for the lifetime of the channel.
         self.book.alloc(total);
@@ -110,13 +134,24 @@ impl CommLayer for MpiRmaLayer {
     }
 
     fn begin(&self, channel: usize) {
+        if self.is_failed() {
+            return;
+        }
         let chans = self.chans.lock();
         let c = chans.get(&channel).expect("register before begin");
-        c.win.post(&c.peers).expect("win_post");
-        c.win.start(&c.peers).expect("win_start");
+        if let Err(e) = c.win.post(&c.peers) {
+            self.record_failure(format!("RMA post failed: {e}"));
+            return;
+        }
+        if let Err(e) = c.win.start(&c.peers) {
+            self.record_failure(format!("RMA start failed: {e}"));
+        }
     }
 
     fn send(&self, channel: usize, dst: u16, data: Vec<u8>) {
+        if self.is_failed() {
+            return;
+        }
         let mut chans = self.chans.lock();
         let c = chans.get_mut(&channel).expect("register before send");
         // Stage as a [len u32][payload] sub-frame; the put happens at
@@ -135,6 +170,9 @@ impl CommLayer for MpiRmaLayer {
     }
 
     fn finish_sends(&self, channel: usize) {
+        if self.is_failed() {
+            return;
+        }
         let mut chans = self.chans.lock();
         let c = chans.get_mut(&channel).expect("register before finish");
         for dst in c.peers.clone() {
@@ -143,22 +181,36 @@ impl CommLayer for MpiRmaLayer {
             let mut framed = Vec::with_capacity(8 + staged.len());
             framed.extend_from_slice(&(staged.len() as u64).to_le_bytes());
             framed.extend_from_slice(&staged);
-            c.win
-                .put(dst, c.slot_at_peer[dst as usize], &framed)
-                .expect("rma put");
+            if let Err(e) = c.win.put(dst, c.slot_at_peer[dst as usize], &framed) {
+                self.book.free(staged.len());
+                self.record_failure(format!("RMA put failed: {e}"));
+                return;
+            }
             self.book.free(staged.len());
         }
-        c.win.complete().expect("win_complete");
+        if let Err(e) = c.win.complete() {
+            self.record_failure(format!("RMA complete failed: {e}"));
+        }
     }
 
     fn try_recv(&self, channel: usize) -> Option<(u16, Vec<u8>)> {
+        if self.is_failed() {
+            return None;
+        }
         let mut chans = self.chans.lock();
         let c = chans.get_mut(&channel).expect("register before recv");
         if let Some(msg) = c.inbox.pop_front() {
             self.book.free(msg.1.len());
             return Some(msg);
         }
-        match c.win.try_wait_any().expect("win_wait") {
+        let arrived = match c.win.try_wait_any() {
+            Ok(arrived) => arrived,
+            Err(e) => {
+                self.record_failure(format!("RMA wait failed: {e}"));
+                return None;
+            }
+        };
+        match arrived {
             Some(src) => {
                 let off = c.my_offsets[src as usize];
                 let mut lenb = [0u8; 8];
@@ -217,5 +269,16 @@ impl CommLayer for MpiRmaLayer {
             send_retries: self.comm.backpressure_spins(),
             recv_stalls: self.recv_stalls.load(Ordering::Relaxed),
         }
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.failed.lock().clone().or_else(|| self.comm.failure())
+    }
+
+    fn quiesce(&self) {
+        // Window puts ride the fabric's reliable RDMA path; only the
+        // POST/COMPLETE control frames need flushing, and those live in the
+        // communicator's retransmission window.
+        self.comm.quiesce();
     }
 }

@@ -23,7 +23,7 @@ pub mod membook;
 pub mod metrics;
 
 pub use comm::{ChannelSpec, CommLayer, Degradation};
-pub use engine::{run_app, EngineConfig, HostResult, RunResult};
+pub use engine::{run_app, run_app_checked, EngineConfig, HostResult, RunResult};
 pub use label::{Label, LabelVec};
 pub use layers::{build_layers, LayerKind, LayerWorld};
 pub use membook::MemBook;

@@ -30,16 +30,20 @@
 //! reconstructed exactly once (by the single progress call that observes the
 //! corresponding event).
 //!
-//! # Wire hardening
+//! # Wire hardening and reliable delivery
 //!
-//! Every packet the device sends is wrapped in an [`lci_fabric::frame`]
-//! prefix (per-destination sequence number + CRC over header, sequence, and
-//! body). On receive, [`Device::progress`] verifies the checksum and admits
-//! each `(source, sequence)` exactly once **before** any protocol decoding —
-//! in particular before any cookie is turned back into a pointer — so the
-//! fabric's corrupt/duplicate/truncate ghosts are dropped (and counted in
+//! Every packet the device sends goes through an
+//! [`lci_fabric::reliable::ReliableSession`]: a transport frame
+//! (per-destination sequence number + CRC over header, sequence, and body)
+//! plus an ack/retransmit header. On receive, [`Device::progress`] runs the
+//! session's verification **before** any protocol decoding — in particular
+//! before any cookie is turned back into a pointer — so the fabric's
+//! corrupt/duplicate/truncate ghosts are dropped (and counted in
 //! `lci.malformed_dropped` / `lci.duplicate_dropped`) without ever reaching
-//! an unsafe path.
+//! an unsafe path, and genuinely lost packets ([`lci_fabric::Fault::Drop`],
+//! [`lci_fabric::Fault::Blackhole`]) are retransmitted until delivered or
+//! until the destination's retry budget declares it dead, which fails the
+//! device ([`EnqError::PeerDead`]) instead of wedging its callers.
 
 use crate::config::LciConfig;
 use crate::faa_queue::MpmcQueue;
@@ -47,7 +51,7 @@ use crate::pool::{Packet, PacketPool};
 use crate::protocol::{self, PacketType};
 use crate::request::{FilledRanges, RecvRequest, ReqInner, ReqState, SendRequest};
 use bytes::Bytes;
-use lci_fabric::frame;
+use lci_fabric::reliable::{RelRecv, ReliableSession, REL_DATA_OFFSET};
 use lci_fabric::{Endpoint, Event, MrKey, PacketBuf, SendError};
 use lci_trace::{Counter, EventKind};
 use parking_lot::Mutex;
@@ -67,6 +71,11 @@ pub enum EnqError {
     TooLarge,
     /// The device has failed fatally.
     Closed,
+    /// The reliable sublayer declared the destination dead (retransmission
+    /// budget exhausted — the peer crashed or is partitioned). The device is
+    /// failed as a whole: a collective runtime cannot complete a round with
+    /// a missing participant.
+    PeerDead,
     /// [`Device::send_enq_backoff`] spent its whole retry budget without the
     /// transient condition clearing. Not retryable as-is: the caller should
     /// escalate (shed load, widen the budget, or treat the fabric as wedged).
@@ -87,6 +96,7 @@ impl std::fmt::Display for EnqError {
             EnqError::Backpressure => write!(f, "injection backpressure (retry)"),
             EnqError::TooLarge => write!(f, "tag or size exceeds protocol limits"),
             EnqError::Closed => write!(f, "device failed"),
+            EnqError::PeerDead => write!(f, "peer unreachable (retransmission budget exhausted)"),
             EnqError::RetriesExhausted => write!(f, "retry budget exhausted"),
         }
     }
@@ -184,14 +194,9 @@ struct DeviceInner {
     /// Drained ahead of `rxq` so the first-packet order is preserved
     /// (requeueing into the MPMC ring would move them behind later arrivals).
     deferred_rts: Mutex<VecDeque<RxItem>>,
-    /// Per-destination transmit sequence counters. Held as mutexes, not
-    /// atomics: the number is stamped and only committed once the fabric
-    /// accepts the injection, so a rejected send releases its number without
-    /// leaving a gap (a burned sequence would stall the receiver's dedup
-    /// watermark forever).
-    tx_seq: Vec<Mutex<u64>>,
-    /// Per-source receive admission gates (duplicate-frame rejection).
-    rx_gate: Mutex<Vec<frame::SeqGate>>,
+    /// The reliable sublayer: framing, sequencing, dedup, ack/retransmit,
+    /// and peer-failure detection, shared by every send and receive path.
+    rel: ReliableSession,
     pending_puts: Mutex<VecDeque<PendingPut>>,
     pending_frags: Mutex<VecDeque<PendingFrags>>,
     progress_lock: Mutex<()>,
@@ -215,30 +220,24 @@ impl Device {
     ///
     /// # Panics
     /// Panics if the configuration is invalid or a framed packet
-    /// (`packet_payload` plus the transport-frame prefix) exceeds the
-    /// fabric's maximum payload.
+    /// (`packet_payload` plus the transport-frame and reliable-layer
+    /// prefixes) exceeds the fabric's maximum payload.
     pub fn new(ep: Endpoint, cfg: LciConfig) -> Device {
         cfg.validate().expect("invalid LciConfig");
         assert!(
-            cfg.packet_payload + frame::FRAME_OVERHEAD <= ep.config().max_payload,
-            "packet_payload + frame overhead exceeds fabric max_payload"
+            cfg.packet_payload + REL_DATA_OFFSET <= ep.config().max_payload,
+            "packet_payload + frame/reliable overhead exceeds fabric max_payload"
         );
-        let num_hosts = ep.num_hosts();
         let rx_capacity = ep.config().rx_buffers.max(cfg.packet_count);
         Device {
             inner: Arc::new(DeviceInner {
-                // Pool packets are sized to carry a full protocol payload
-                // *plus* the transport-frame prefix, so framing never costs
-                // a copy and the eager limit keeps its configured meaning.
-                pool: PacketPool::new(
-                    cfg.packet_count,
-                    cfg.packet_payload + frame::FRAME_OVERHEAD,
-                    cfg.pool_shards,
-                ),
+                // Pool packets carry the protocol payload only; the reliable
+                // session prepends the transport frame and ack header at
+                // injection time.
+                pool: PacketPool::new(cfg.packet_count, cfg.packet_payload, cfg.pool_shards),
                 rxq: MpmcQueue::new(rx_capacity),
                 deferred_rts: Mutex::new(VecDeque::new()),
-                tx_seq: (0..num_hosts).map(|_| Mutex::new(0)).collect(),
-                rx_gate: Mutex::new((0..num_hosts).map(|_| frame::SeqGate::new()).collect()),
+                rel: ReliableSession::new(&ep),
                 pending_puts: Mutex::new(VecDeque::new()),
                 pending_frags: Mutex::new(VecDeque::new()),
                 progress_lock: Mutex::new(()),
@@ -263,6 +262,27 @@ impl Device {
     /// Has this device failed fatally?
     pub fn is_failed(&self) -> bool {
         self.inner.failed.load(Ordering::Acquire)
+    }
+
+    /// Total reliable-layer frames sent but not yet acknowledged, across
+    /// all destinations. Zero means every peer has admitted everything this
+    /// device sent — the condition a host must reach before it may stop
+    /// driving [`Device::progress`]: a host that retires with frames still
+    /// windowed strands any peer whose only copy of one was dropped, since
+    /// the retransmission timers only fire from the progress loop.
+    pub fn unacked_frames(&self) -> usize {
+        (0..self.inner.ep.num_hosts())
+            .map(|h| self.inner.rel.unacked(h as u16))
+            .sum()
+    }
+
+    /// True while any peer is owed an acknowledgement this device has not
+    /// yet flushed. Part of the quiesce condition, alongside
+    /// [`Device::unacked_frames`]: retiring with debt outstanding leaves
+    /// the sender retransmitting into silence until its retry budget
+    /// falsely declares this host dead.
+    pub fn acks_owed(&self) -> bool {
+        self.inner.rel.acks_owed()
     }
 
     /// The configuration in use.
@@ -293,30 +313,28 @@ impl Device {
         self.inner.pool.outstanding()
     }
 
-    /// Inject a packet whose first `len` bytes are the wire payload (frame
-    /// prefix followed by the protocol body), handing ownership to a
-    /// `FreePacket` completion on success and returning the packet to the
-    /// pool on failure.
+    /// Inject a packet whose first `len` bytes are the protocol body,
+    /// handing ownership to a `FreePacket` completion on success and
+    /// returning the packet to the pool on failure.
     ///
-    /// The transport-frame prefix is stamped here, under the destination's
-    /// sequence lock, and the sequence number is committed only if the
-    /// fabric accepts the injection — a rejected send releases its number so
-    /// the receiver's dedup watermark never sees a gap.
+    /// The reliable session frames the body (sequence number, CRC, ack
+    /// state) and holds a copy for retransmission; the pooled packet itself
+    /// stays leased until the *first* transmission's `SendDone` arrives —
+    /// which the fabric delivers even for dropped or blackholed packets, so
+    /// leases cannot leak under loss. Retransmissions complete with a zero
+    /// context and never touch the pool.
     fn send_packet(
         &self,
         dst: u16,
         header: u64,
-        mut packet: Packet,
+        packet: Packet,
         len: usize,
     ) -> Result<(), EnqError> {
-        debug_assert!(len >= frame::FRAME_OVERHEAD);
         let inner = &self.inner;
-        if dst as usize >= inner.tx_seq.len() {
+        if dst as usize >= inner.ep.num_hosts() {
             inner.pool.free(packet);
             return Err(EnqError::Closed);
         }
-        let mut seq = inner.tx_seq[dst as usize].lock();
-        frame::stamp(header, *seq, &mut packet[..len]);
         let raw = Box::into_raw(Box::new(Completion::FreePacket(packet)));
         // SAFETY: `raw` is valid and uniquely ours until the fabric accepts
         // the cookie; the borrow of the packet ends before any hand-off.
@@ -326,13 +344,10 @@ impl Device {
                 Completion::PutSent(_) => unreachable!(),
             }
         };
-        match inner.ep.try_send(dst, header, buf, raw as u64) {
-            Ok(()) => {
-                *seq += 1;
-                Ok(())
-            }
+        match inner.rel.send(&inner.ep, dst, header, buf, raw as u64) {
+            Ok(()) => Ok(()),
             Err(e) => {
-                // SAFETY: the fabric rejected the operation, so the cookie
+                // SAFETY: the send was rejected synchronously, so the cookie
                 // was never handed off; reclaim it here.
                 let comp = unsafe { Box::from_raw(raw) };
                 if let Completion::FreePacket(p) = *comp {
@@ -341,6 +356,10 @@ impl Device {
                 Err(match e {
                     SendError::Backpressure => EnqError::Backpressure,
                     SendError::TooLarge => EnqError::TooLarge,
+                    SendError::PeerDead(_) => {
+                        inner.failed.store(true, Ordering::Release);
+                        EnqError::PeerDead
+                    }
                     _ => EnqError::Closed,
                 })
             }
@@ -374,12 +393,11 @@ impl Device {
             return Err(EnqError::NoPacket);
         };
 
-        const FO: usize = frame::FRAME_OVERHEAD;
         if data.len() <= inner.cfg.eager_limit {
             let len = data.len();
-            packet[FO..FO + len].copy_from_slice(&data);
+            packet[..len].copy_from_slice(&data);
             let header = protocol::pack(PacketType::Egr, tag, len as u64);
-            self.send_packet(dst, header, packet, FO + len).inspect_err(|e| {
+            self.send_packet(dst, header, packet, len).inspect_err(|e| {
                 if e.is_retryable() {
                     inner.stats.enq_rejected.fetch_add(1, Ordering::Relaxed);
                     lci_trace::incr(Counter::LciEnqRejected);
@@ -396,9 +414,9 @@ impl Device {
             let len = data.len();
             let req = ReqInner::new(dst, tag, len, ReqState::SendPayload(data));
             let cookie = req_cookie(Arc::clone(&req));
-            packet[FO..FO + 8].copy_from_slice(&protocol::encode_rts(cookie));
+            packet[..8].copy_from_slice(&protocol::encode_rts(cookie));
             let header = protocol::pack(PacketType::Rts, tag, len as u64);
-            match self.send_packet(dst, header, packet, FO + 8) {
+            match self.send_packet(dst, header, packet, 8) {
                 Ok(()) => {
                     inner.stats.rdv_opened.fetch_add(1, Ordering::Relaxed);
                     lci_trace::incr(Counter::LciRdvOpened);
@@ -469,12 +487,12 @@ impl Device {
             Some(item) => item,
             None => inner.rxq.try_pop()?,
         };
-        const FO: usize = frame::FRAME_OVERHEAD;
         match item.ty {
             PacketType::Egr => {
                 let mut data = item.data.into_vec();
-                // The frame prefix was verified in progress; strip it here.
-                data.drain(..FO);
+                // The frame and reliable prefixes were verified in progress;
+                // strip them here.
+                data.drain(..REL_DATA_OFFSET);
                 if data.len() as u64 != item.size {
                     // A header/payload length disagreement that slipped past
                     // the checksum: drop rather than surface a lying packet.
@@ -489,7 +507,8 @@ impl Device {
                 Some(RecvRequest { inner: req })
             }
             PacketType::Rts => {
-                let Some(send_cookie) = protocol::decode_rts(&item.data[FO..]) else {
+                let Some(send_cookie) = protocol::decode_rts(&item.data[REL_DATA_OFFSET..])
+                else {
                     lci_trace::incr(Counter::LciMalformedDropped);
                     return None; // malformed control packet: drop
                 };
@@ -515,13 +534,13 @@ impl Device {
                 };
                 let req = ReqInner::new(item.src, item.tag, item.size as usize, state);
                 let recv_cookie = req_cookie(Arc::clone(&req));
-                packet[FO..FO + 24].copy_from_slice(&protocol::encode_rtr(
+                packet[..24].copy_from_slice(&protocol::encode_rtr(
                     send_cookie,
                     key.0,
                     recv_cookie,
                 ));
                 let header = protocol::pack(PacketType::Rtr, item.tag, item.size);
-                match self.send_packet(item.src, header, packet, FO + 24) {
+                match self.send_packet(item.src, header, packet, 24) {
                     Ok(()) => {
                         inner.stats.received.fetch_add(1, Ordering::Relaxed);
                         lci_trace::incr(Counter::LciReceived);
@@ -561,6 +580,15 @@ impl Device {
         lci_trace::incr(Counter::LciProgressPolls);
         let mut handled = 0;
 
+        // Fire reliable-layer timers: retransmissions of unacked frames and
+        // standalone acks for owed receive state.
+        handled += inner.rel.pump(&inner.ep);
+        if inner.rel.dead_peer().is_some() {
+            // A destination exhausted its retransmission budget: the
+            // collective cannot complete, so the whole device fails.
+            inner.failed.store(true, Ordering::Release);
+        }
+
         // Retry puts deferred by back-pressure.
         {
             let mut puts = inner.pending_puts.lock();
@@ -584,11 +612,16 @@ impl Device {
             match ev {
                 Event::Recv { src, header, data } => self.on_recv(src, header, data),
                 Event::SendDone { ctx } | Event::PutDone { ctx } => {
-                    // SAFETY: ctx was created by completion_cookie for this
-                    // operation and this is its unique completion event.
-                    match unsafe { take_completion(ctx) } {
-                        Completion::FreePacket(p) => inner.pool.free(p),
-                        Completion::PutSent(req) => req.mark_done(),
+                    // Retransmissions and standalone acks complete with a
+                    // zero context: only first transmissions carry a cookie.
+                    if ctx != 0 {
+                        // SAFETY: ctx was created by completion_cookie for
+                        // this operation and this is its unique completion
+                        // event.
+                        match unsafe { take_completion(ctx) } {
+                            Completion::FreePacket(p) => inner.pool.free(p),
+                            Completion::PutSent(req) => req.mark_done(),
+                        }
                     }
                 }
                 Event::PutArrived { imm, .. } => {
@@ -627,27 +660,29 @@ impl Device {
 
     fn on_recv(&self, src: u16, header: u64, data: PacketBuf) {
         let inner = &self.inner;
-        // Verify the transport frame and admit the sequence number before
-        // any protocol decoding. This is the device's sole defense for the
-        // cookie-carrying control packets below: a corrupt/truncated ghost
-        // fails the checksum, a duplicate ghost is bit-exact (so it passes)
-        // but re-uses an admitted sequence number.
-        let seq = match frame::open(header, &data) {
-            Ok((seq, _)) => seq,
-            Err(_) => {
+        // Run the reliable layer before any protocol decoding. This is the
+        // device's sole defense for the cookie-carrying control packets
+        // below: a corrupt/truncated ghost fails the checksum, a duplicate
+        // (ghost or retransmission) re-uses an admitted sequence number,
+        // and ack frames are pure control traffic — none of them may reach
+        // an unsafe path.
+        match inner.rel.on_recv(&inner.ep, src, header, &data) {
+            RelRecv::Data => {}
+            RelRecv::Duplicate => {
+                lci_trace::incr(Counter::LciDuplicateDropped);
+                return;
+            }
+            RelRecv::Malformed => {
                 lci_trace::incr(Counter::LciMalformedDropped);
                 return;
             }
-        };
-        if !inner.rx_gate.lock()[src as usize].admit(seq) {
-            lci_trace::incr(Counter::LciDuplicateDropped);
-            return;
+            RelRecv::Ack => return,
         }
         let Some((ty, tag, size)) = protocol::unpack(header) else {
             lci_trace::incr(Counter::LciMalformedDropped);
             return; // malformed
         };
-        const FO: usize = frame::FRAME_OVERHEAD;
+        const RXO: usize = REL_DATA_OFFSET;
         match ty {
             PacketType::Egr | PacketType::Rts => {
                 inner.rxq.push(RxItem {
@@ -659,7 +694,7 @@ impl Device {
                 });
             }
             PacketType::Rtr => {
-                let Some((send_cookie, key, recv_cookie)) = protocol::decode_rtr(&data[FO..])
+                let Some((send_cookie, key, recv_cookie)) = protocol::decode_rtr(&data[RXO..])
                 else {
                     lci_trace::incr(Counter::LciMalformedDropped);
                     return;
@@ -704,7 +739,7 @@ impl Device {
                 }
             }
             PacketType::Frag => {
-                let body_full = &data[FO..];
+                let body_full = &data[RXO..];
                 let Some((cookie, offset)) = protocol::decode_frag_header(body_full) else {
                     lci_trace::incr(Counter::LciMalformedDropped);
                     return;
@@ -765,7 +800,6 @@ impl Device {
     fn issue_frags(&self) -> usize {
         let inner = &self.inner;
         let mut q = inner.pending_frags.lock();
-        const FO: usize = frame::FRAME_OVERHEAD;
         let chunk = inner.cfg.packet_payload - 16;
         let mut issued = 0;
         while let Some(f) = q.front_mut() {
@@ -776,13 +810,13 @@ impl Device {
                 };
                 let end = (f.next_offset + chunk).min(total);
                 let len = end - f.next_offset;
-                packet[FO..FO + 16].copy_from_slice(&protocol::encode_frag_header(
+                packet[..16].copy_from_slice(&protocol::encode_frag_header(
                     f.recv_cookie,
                     f.next_offset as u64,
                 ));
-                packet[FO + 16..FO + 16 + len].copy_from_slice(&f.payload[f.next_offset..end]);
+                packet[16..16 + len].copy_from_slice(&f.payload[f.next_offset..end]);
                 let header = protocol::pack(PacketType::Frag, f.tag, total as u64);
-                match self.send_packet(f.dst, header, packet, FO + 16 + len) {
+                match self.send_packet(f.dst, header, packet, 16 + len) {
                     Ok(()) => {
                         f.next_offset = end;
                         issued += 1;

@@ -115,6 +115,26 @@ pub enum Fault {
     /// survives — the fabric models header delivery as reliable
     /// side-channel metadata, like a completion-queue entry).
     Truncate,
+    /// Lossy wire: each eager delivery in the phase is dropped with
+    /// probability `prob_ppm` parts-per-million (seeded per-packet roll).
+    /// Unlike the ghost faults above, the *original* vanishes — the sender
+    /// still observes `SendDone` (the packet left the NIC; the wire ate it),
+    /// so only a retransmitting layer such as
+    /// [`crate::reliable::ReliableSession`] recovers the payload. RDMA puts
+    /// are exempt (hardware-reliable in the model). `prob_ppm` must be in
+    /// `1..=1_000_000`.
+    Drop {
+        /// Per-packet loss probability in parts per million.
+        prob_ppm: u32,
+    },
+    /// Partition one host: every eager delivery to *or from* `peer` silently
+    /// vanishes while the phase is active (senders still observe `SendDone`).
+    /// Models a died/unreachable node; surviving hosts detect it only via
+    /// retransmission-budget exhaustion (`PeerDead`). RDMA puts are exempt.
+    Blackhole {
+        /// The rank cut off from the fabric.
+        peer: HostId,
+    },
 }
 
 /// A [`Fault`] active during `[start_ns, start_ns + duration_ns)` of
@@ -201,6 +221,16 @@ impl FaultPlan {
                 Fault::Corrupt { flips } if flips == 0 => {
                     return Err(format!("phase {i}: corrupt flips must be >= 1"));
                 }
+                Fault::Drop { prob_ppm } if prob_ppm == 0 || prob_ppm > 1_000_000 => {
+                    return Err(format!(
+                        "phase {i}: drop prob_ppm must be in 1..=1_000_000"
+                    ));
+                }
+                Fault::Blackhole { peer } if peer as usize >= num_hosts => {
+                    return Err(format!(
+                        "phase {i}: blackhole peer {peer} out of range (num_hosts={num_hosts})"
+                    ));
+                }
                 _ => {}
             }
         }
@@ -266,6 +296,22 @@ impl FaultPlan {
             .any(|p| matches!(p.fault, Fault::Truncate) && p.contains(now_ns))
     }
 
+    /// Loss probability (parts per million) if a drop phase is active at
+    /// `now_ns`. Overlapping drop phases take the first match.
+    pub fn drop_at(&self, now_ns: u64) -> Option<u32> {
+        self.phases.iter().find_map(|p| match p.fault {
+            Fault::Drop { prob_ppm } if p.contains(now_ns) => Some(prob_ppm),
+            _ => None,
+        })
+    }
+
+    /// Is a blackhole phase cutting off `host` active at `now_ns`?
+    pub fn blackhole_at(&self, now_ns: u64, host: HostId) -> bool {
+        self.phases.iter().any(|p| {
+            matches!(p.fault, Fault::Blackhole { peer } if peer == host) && p.contains(now_ns)
+        })
+    }
+
     /// Exclusive end of the last phase (0 for an empty plan).
     pub fn horizon_ns(&self) -> u64 {
         self.phases.iter().map(|p| p.end_ns()).max().unwrap_or(0)
@@ -287,8 +333,8 @@ impl FaultPlan {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        let h = horizon_ns.max(7);
-        let span = h / 7;
+        let h = horizon_ns.max(8);
+        let span = h / 8;
         let mut plan = FaultPlan::none();
         let faults = [
             Fault::LatencySpike {
@@ -309,6 +355,12 @@ impl FaultPlan {
             },
             Fault::Duplicate,
             Fault::Truncate,
+            // Mild loss (1–5%): survivable by the reliable sublayer, unlike
+            // a blackhole, which is deliberately excluded — chaos plans must
+            // leave runs completable.
+            Fault::Drop {
+                prob_ppm: 10_000 + (next() % 40_000) as u32,
+            },
         ];
         for (i, fault) in faults.into_iter().enumerate() {
             let start = i as u64 * span / 2 + next() % span.max(1);
@@ -316,6 +368,50 @@ impl FaultPlan {
             plan = plan.with_phase(start, duration.max(1), fault);
         }
         plan
+    }
+}
+
+/// Tuning knobs for the ack/retransmit sublayer
+/// ([`crate::reliable::ReliableSession`]).
+///
+/// All times are simulated nanoseconds (virtual-clock ticks in manual
+/// mode). The defaults bound peer-failure detection at roughly
+/// `retry_budget` doublings of `rto_base_ns` capped at `rto_cap_ns` —
+/// about 70 ms of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableConfig {
+    /// Maximum unacked frames per destination; a full window surfaces
+    /// `SendError::Backpressure` to the caller (bounded buffering).
+    pub window: usize,
+    /// Initial retransmission timeout.
+    pub rto_base_ns: u64,
+    /// Exponential-backoff ceiling for the retransmission timeout.
+    pub rto_cap_ns: u64,
+    /// Seeded uniform jitter added to each timeout, `[0, rto_jitter_ns)`,
+    /// so retransmissions from many peers do not synchronize.
+    pub rto_jitter_ns: u64,
+    /// Retransmissions of one frame before the destination is declared
+    /// dead (`PeerDead`).
+    pub retry_budget: u32,
+    /// How long a receiver owes an ack before it sends a standalone one.
+    pub ack_delay_ns: u64,
+    /// Send a standalone ack after this many unacked data frames even if
+    /// the clock has not reached the deadline — keeps windows draining on
+    /// a frozen virtual clock.
+    pub ack_every: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            window: 32,
+            rto_base_ns: 400_000,
+            rto_cap_ns: 8_000_000,
+            rto_jitter_ns: 50_000,
+            retry_budget: 12,
+            ack_delay_ns: 100_000,
+            ack_every: 8,
+        }
     }
 }
 
@@ -348,6 +444,9 @@ pub struct FabricConfig {
     /// Timed chaos phases executed by the wire thread ([`FaultPlan::none`]
     /// disables fault injection entirely).
     pub fault_plan: FaultPlan,
+    /// Ack/retransmit sublayer tuning (consumed by
+    /// [`crate::reliable::ReliableSession`], not by the wire itself).
+    pub reliable: ReliableConfig,
 }
 
 impl FabricConfig {
@@ -364,6 +463,7 @@ impl FabricConfig {
             time_scale: 0.0,
             seed: 0xC0FFEE,
             fault_plan: FaultPlan::none(),
+            reliable: ReliableConfig::default(),
         }
     }
 
@@ -380,6 +480,7 @@ impl FabricConfig {
             time_scale: 1.0,
             seed: 0x57A2,
             fault_plan: FaultPlan::none(),
+            reliable: ReliableConfig::default(),
         }
     }
 
@@ -396,6 +497,7 @@ impl FabricConfig {
             time_scale: 1.0,
             seed: 0x57A1,
             fault_plan: FaultPlan::none(),
+            reliable: ReliableConfig::default(),
         }
     }
 
@@ -420,6 +522,7 @@ impl FabricConfig {
             time_scale: 1.0,
             seed,
             fault_plan: FaultPlan::none(),
+            reliable: ReliableConfig::default(),
         }
     }
 
@@ -462,6 +565,12 @@ impl FabricConfig {
     /// Builder-style override of the fault plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Builder-style override of the reliable-sublayer tuning.
+    pub fn with_reliable(mut self, r: ReliableConfig) -> Self {
+        self.reliable = r;
         self
     }
 }
@@ -553,7 +662,54 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.validate(4).is_ok());
-        assert_eq!(a.phases.len(), 7);
+        assert_eq!(a.phases.len(), 8);
+        // Chaos plans must leave runs completable: mild loss is included,
+        // a blackhole never is.
+        assert!(a
+            .phases
+            .iter()
+            .any(|p| matches!(p.fault, Fault::Drop { prob_ppm } if (10_000..=50_000).contains(&prob_ppm))));
+        assert!(!a
+            .phases
+            .iter()
+            .any(|p| matches!(p.fault, Fault::Blackhole { .. })));
+    }
+
+    #[test]
+    fn lossy_fault_queries_and_validation() {
+        let plan = FaultPlan::none()
+            .with_phase(0, 100, Fault::Drop { prob_ppm: 50_000 })
+            .with_phase(50, 100, Fault::Blackhole { peer: 1 });
+        assert_eq!(plan.drop_at(0), Some(50_000));
+        assert_eq!(plan.drop_at(99), Some(50_000));
+        assert_eq!(plan.drop_at(100), None);
+        assert!(!plan.blackhole_at(0, 1));
+        assert!(plan.blackhole_at(50, 1));
+        assert!(!plan.blackhole_at(50, 0));
+        assert!(!plan.blackhole_at(150, 1));
+        assert!(plan.validate(2).is_ok());
+        let zero_prob = FaultPlan::none().with_phase(0, 10, Fault::Drop { prob_ppm: 0 });
+        assert!(zero_prob.validate(2).is_err());
+        let over_prob = FaultPlan::none().with_phase(0, 10, Fault::Drop { prob_ppm: 1_000_001 });
+        assert!(over_prob.validate(2).is_err());
+        let bad_peer = FaultPlan::none().with_phase(0, 10, Fault::Blackhole { peer: 2 });
+        assert!(bad_peer.validate(2).is_err());
+    }
+
+    #[test]
+    fn reliable_config_defaults_bound_peer_death() {
+        let r = ReliableConfig::default();
+        // Worst-case simulated time to declare a peer dead: the sum of the
+        // doubling RTOs capped at rto_cap_ns, plus jitter. Keep it under
+        // 100 ms so blackhole aborts are snappy even on 1:1 time scales.
+        let mut total = 0u64;
+        let mut rto = r.rto_base_ns;
+        for _ in 0..r.retry_budget {
+            total += rto + r.rto_jitter_ns;
+            rto = (rto * 2).min(r.rto_cap_ns);
+        }
+        assert!(total < 100_000_000, "death bound {total} ns too lax");
+        assert!(r.window >= 1 && r.ack_every >= 1);
     }
 
     #[test]

@@ -334,6 +334,18 @@ impl Endpoint {
     pub fn rx_credits(&self) -> i64 {
         self.shared.rx_credits.load(Ordering::Relaxed)
     }
+
+    /// Current simulated time in nanoseconds: wall-clock since fabric
+    /// construction in threaded mode, the virtual clock in manual mode.
+    /// This is the clock every [`crate::reliable::ReliableSession`] timeout
+    /// is judged against, so timers replay bit-for-bit in manual mode.
+    pub fn now_ns(&self) -> u64 {
+        if self.fabric.manual {
+            self.fabric.virtual_now.load(Ordering::Relaxed)
+        } else {
+            self.fabric.epoch.elapsed().as_nanos() as u64
+        }
+    }
 }
 
 impl std::fmt::Debug for Endpoint {

@@ -22,6 +22,10 @@ pub enum SendError {
     /// retry limit exceeded — the simulated analogue of the unrecoverable
     /// network errors the paper saw crash MPI runs).
     Closed,
+    /// The reliable sublayer exhausted its retransmission budget against
+    /// this destination: the peer is unreachable (crashed or blackholed).
+    /// Further sends to it are pointless; callers should abort the round.
+    PeerDead(crate::HostId),
 }
 
 impl SendError {
@@ -40,6 +44,9 @@ impl fmt::Display for SendError {
             SendError::TooLarge => write!(f, "payload exceeds max eager size"),
             SendError::BadRank => write!(f, "destination rank out of range"),
             SendError::Closed => write!(f, "endpoint failed / fabric shut down"),
+            SendError::PeerDead(h) => {
+                write!(f, "peer {h} unreachable (retransmission budget exhausted)")
+            }
         }
     }
 }
@@ -62,5 +69,6 @@ mod tests {
         assert!(!SendError::TooLarge.is_retryable());
         assert!(!SendError::BadRank.is_retryable());
         assert!(!SendError::Closed.is_retryable());
+        assert!(!SendError::PeerDead(3).is_retryable());
     }
 }

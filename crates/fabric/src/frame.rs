@@ -2,17 +2,22 @@
 //!
 //! The fabric's adversarial faults ([`Fault::Corrupt`](crate::Fault),
 //! [`Fault::Duplicate`](crate::Fault), [`Fault::Truncate`](crate::Fault))
-//! deliver mangled or repeated *ghost* copies of real sends. No layer above
-//! the fabric retransmits, so consumers cannot reject the original — they
-//! must recognize the ghost. This module gives every consumer the two tools
-//! it needs, deliberately *outside* the fault injector's knowledge:
+//! deliver mangled or repeated *ghost* copies of real sends, and the lossy
+//! faults ([`Fault::Drop`](crate::Fault), [`Fault::Blackhole`](crate::Fault))
+//! eat originals outright. This module gives every consumer the integrity
+//! tools — the recovery tools live in [`crate::reliable`] on top of it:
 //!
-//! * a 12-byte frame prefix `[seq: u64 LE][crc32: u32 LE]` prepended to the
-//!   payload, with the CRC computed over the 64-bit message header, the
-//!   sequence number, and the body — any bit-flip or truncation anywhere in
-//!   header, prefix, or body fails [`open`];
+//! * a 16-byte frame prefix `[seq: u64 LE][len: u32 LE][crc32: u32 LE]`
+//!   prepended to the payload, with the CRC computed over the 64-bit message
+//!   header, the sequence number, the declared body length, and the body —
+//!   any bit-flip or truncation anywhere in header, prefix, or body fails
+//!   [`open`]. The explicit length makes structural damage (truncation,
+//!   trailing garbage after a declared-empty body) detectable *before* the
+//!   checksum pass, so [`FrameError`] distinguishes it from corruption;
 //! * a per-source [`SeqGate`] that admits each sequence number exactly once,
-//!   rejecting bit-exact duplicates that necessarily pass the CRC.
+//!   rejecting bit-exact duplicates that necessarily pass the CRC, with a
+//!   bounded above-watermark window so pathological reorder/loss patterns
+//!   cannot grow the gate without limit.
 //!
 //! The CRC is CRC-32/IEEE (polynomial `0xEDB88320`, reflected). Its
 //! generator polynomial has Hamming distance ≥ 2 at any frame length, so
@@ -22,7 +27,10 @@
 use std::collections::BTreeSet;
 
 /// Bytes of frame prefix prepended to every framed payload.
-pub const FRAME_OVERHEAD: usize = 12;
+pub const FRAME_OVERHEAD: usize = 16;
+
+/// Default cap on a [`SeqGate`]'s above-watermark admissions.
+pub const DEFAULT_GATE_WINDOW: u64 = 4096;
 
 /// CRC-32/IEEE lookup table, generated at compile time.
 const CRC_TABLE: [u32; 256] = {
@@ -63,10 +71,11 @@ impl Crc32 {
     }
 }
 
-fn frame_crc(header: u64, seq: u64, body: &[u8]) -> u32 {
+fn frame_crc(header: u64, seq: u64, len: u32, body: &[u8]) -> u32 {
     let mut crc = Crc32::new();
     crc.update(&header.to_le_bytes());
     crc.update(&seq.to_le_bytes());
+    crc.update(&len.to_le_bytes());
     crc.update(body);
     crc.finish()
 }
@@ -74,10 +83,13 @@ fn frame_crc(header: u64, seq: u64, body: &[u8]) -> u32 {
 /// Why [`open`] rejected a payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameError {
-    /// Payload shorter than the frame prefix (truncated below the prefix).
+    /// Payload shorter than the frame prefix (truncated at or below the
+    /// prefix — including exactly prefix-sized cuts of a framed body).
     TooShort,
-    /// Stored CRC does not match the recomputed one (corruption or
-    /// truncation of the body).
+    /// The declared body length disagrees with the bytes actually present
+    /// (truncated body, or trailing bytes after a declared-empty body).
+    BadLength,
+    /// Stored CRC does not match the recomputed one (corruption).
     BadChecksum,
 }
 
@@ -85,22 +97,26 @@ impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::TooShort => write!(f, "frame shorter than prefix"),
+            FrameError::BadLength => write!(f, "frame length field mismatch"),
             FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
         }
     }
 }
 
 /// Stamp the frame prefix into `frame[..FRAME_OVERHEAD]`, checksumming
-/// `header`, `seq`, and the body already present in
+/// `header`, `seq`, the body length, and the body already present in
 /// `frame[FRAME_OVERHEAD..]`. Writing the body first and stamping in place
 /// lets packet-pool users frame without a copy.
 ///
 /// # Panics
-/// Panics if `frame.len() < FRAME_OVERHEAD`.
+/// Panics if `frame.len() < FRAME_OVERHEAD` or the body exceeds `u32::MAX`
+/// bytes.
 pub fn stamp(header: u64, seq: u64, frame: &mut [u8]) {
-    let crc = frame_crc(header, seq, &frame[FRAME_OVERHEAD..]);
+    let len = u32::try_from(frame.len() - FRAME_OVERHEAD).expect("body fits u32");
+    let crc = frame_crc(header, seq, len, &frame[FRAME_OVERHEAD..]);
     frame[..8].copy_from_slice(&seq.to_le_bytes());
-    frame[8..12].copy_from_slice(&crc.to_le_bytes());
+    frame[8..12].copy_from_slice(&len.to_le_bytes());
+    frame[12..16].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Build a framed payload (prefix + copy of `body`) in a fresh buffer.
@@ -113,14 +129,20 @@ pub fn seal(header: u64, seq: u64, body: &[u8]) -> Vec<u8> {
 
 /// Verify a framed payload against its message `header`; on success return
 /// the sequence number and the body slice. Never panics, whatever the input.
+/// Structural checks (prefix present, declared length matches the bytes on
+/// hand) run before the checksum so their rejections are distinguishable.
 pub fn open(header: u64, payload: &[u8]) -> Result<(u64, &[u8]), FrameError> {
     if payload.len() < FRAME_OVERHEAD {
         return Err(FrameError::TooShort);
     }
     let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-    let stored = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes"));
     let body = &payload[FRAME_OVERHEAD..];
-    if frame_crc(header, seq, body) != stored {
+    if len as usize != body.len() {
+        return Err(FrameError::BadLength);
+    }
+    if frame_crc(header, seq, len, body) != stored {
         return Err(FrameError::BadChecksum);
     }
     Ok((seq, body))
@@ -132,23 +154,56 @@ pub fn open(header: u64, payload: &[u8]) -> Result<(u64, &[u8]), FrameError> {
 /// sparse set of admitted numbers at or above it, so out-of-order arrival —
 /// which the fabric's `Reorder` fault produces legitimately — is admitted
 /// while any re-delivery is rejected. The pending set stays small because
-/// the watermark compacts every contiguous run.
-#[derive(Debug, Default)]
+/// the watermark compacts every contiguous run, and it is hard-capped at a
+/// configurable `window` above the watermark: a frame further ahead than
+/// that (only possible under pathological loss/reorder, or an attacker
+/// forging sequence numbers) is dropped and counted
+/// (`fabric.frame.window_overflow`) instead of growing the set without
+/// bound.
+#[derive(Debug)]
 pub struct SeqGate {
     next: u64,
     pending: BTreeSet<u64>,
+    window: u64,
+}
+
+impl Default for SeqGate {
+    fn default() -> Self {
+        SeqGate {
+            next: 0,
+            pending: BTreeSet::new(),
+            window: DEFAULT_GATE_WINDOW,
+        }
+    }
 }
 
 impl SeqGate {
-    /// A gate that has admitted nothing.
+    /// A gate that has admitted nothing, capped at
+    /// [`DEFAULT_GATE_WINDOW`] above-watermark admissions.
     pub fn new() -> Self {
         SeqGate::default()
     }
 
-    /// Admit `seq` if it has never been admitted before. Returns `false`
-    /// for duplicates.
+    /// Builder-style override of the above-watermark cap (must be ≥ 1).
+    pub fn with_window(mut self, window: u64) -> Self {
+        assert!(window >= 1, "gate window must be >= 1");
+        self.window = window;
+        self
+    }
+
+    /// Admit `seq` if it has never been admitted before and lies within
+    /// `window` of the low watermark. Returns `false` for duplicates and
+    /// for beyond-window frames (the latter also bump
+    /// `fabric.frame.window_overflow`).
     pub fn admit(&mut self, seq: u64) -> bool {
-        if seq < self.next || !self.pending.insert(seq) {
+        if seq < self.next {
+            return false;
+        }
+        if seq - self.next >= self.window {
+            lci_trace::incr(lci_trace::Counter::FabricFrameWindowOverflow);
+            return false;
+        }
+        if !self.pending.insert(seq) {
             return false;
         }
         while self.pending.remove(&self.next) {
@@ -158,9 +213,28 @@ impl SeqGate {
     }
 
     /// Number of admitted sequence numbers still above the watermark
-    /// (diagnostics; bounded by the source's in-flight window).
+    /// (diagnostics; bounded by `window`).
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The low watermark: every sequence number below it was admitted, and
+    /// `watermark()` itself is the next in-order number expected. This is
+    /// what a cumulative ack reports.
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+
+    /// Selective-ack bitmap over the 32 numbers just above the watermark:
+    /// bit `i` set ⇔ `watermark() + 1 + i` was admitted out of order.
+    /// (`watermark()` itself can never be pending — it would have
+    /// compacted.)
+    pub fn mask_above(&self) -> u32 {
+        let mut mask = 0u32;
+        for &s in self.pending.range(self.next + 1..self.next + 33) {
+            mask |= 1 << (s - self.next - 1);
+        }
+        mask
     }
 }
 
@@ -211,6 +285,34 @@ mod tests {
         for cut in 0..framed.len() {
             assert!(open(header, &framed[..cut]).is_err(), "cut to {cut} passed");
         }
+        // The structural cuts get structural errors: anything below the
+        // prefix (including the old 12-byte prefix length) is TooShort,
+        // anything at or above it with a short body is BadLength.
+        assert_eq!(open(header, &framed[..12]), Err(FrameError::TooShort));
+        assert_eq!(
+            open(header, &framed[..FRAME_OVERHEAD]),
+            Err(FrameError::BadLength)
+        );
+        assert_eq!(
+            open(header, &framed[..FRAME_OVERHEAD + 5]),
+            Err(FrameError::BadLength)
+        );
+    }
+
+    #[test]
+    fn declared_empty_body_with_trailing_bytes_is_rejected() {
+        let header = 5;
+        let mut framed = seal(header, 0, &[]);
+        assert!(open(header, &framed).is_ok());
+        // Trailing garbage after a declared-empty body: structural error,
+        // even when the garbage would leave the checksum of a longer body
+        // coincidentally valid-looking.
+        framed.extend_from_slice(b"trailing");
+        assert_eq!(open(header, &framed), Err(FrameError::BadLength));
+        // Same for a non-empty declared length with extra bytes appended.
+        let mut f2 = seal(header, 1, b"abc");
+        f2.push(0);
+        assert_eq!(open(header, &f2), Err(FrameError::BadLength));
     }
 
     #[test]
@@ -239,5 +341,39 @@ mod tests {
         }
         assert_eq!(g.pending(), 0);
         assert!(!g.admit(999));
+    }
+
+    #[test]
+    fn seq_gate_caps_above_watermark_admissions() {
+        let mut g = SeqGate::new().with_window(8);
+        assert!(g.admit(0), "watermark itself is in-window");
+        assert!(g.admit(8), "just inside the window after compaction");
+        assert!(!g.admit(9), "exactly window-ahead is rejected");
+        assert!(!g.admit(1_000_000), "far-future forgery is rejected");
+        assert_eq!(g.pending(), 1, "rejections must not grow the set");
+        // Filling the gap moves the watermark; the once-rejected seq is
+        // now admissible.
+        for s in 1..8u64 {
+            assert!(g.admit(s));
+        }
+        assert!(g.admit(9));
+    }
+
+    #[test]
+    fn seq_gate_watermark_and_mask_report_sack_state() {
+        let mut g = SeqGate::new();
+        assert_eq!(g.watermark(), 0);
+        assert_eq!(g.mask_above(), 0);
+        assert!(g.admit(0));
+        assert!(g.admit(2));
+        assert!(g.admit(4));
+        // Watermark 1, pending {2, 4}: bit i ⇔ watermark+1+i admitted,
+        // so 2 → bit 0 and 4 → bit 2.
+        assert_eq!(g.watermark(), 1);
+        assert_eq!(g.mask_above(), 0b101);
+        assert!(g.admit(1));
+        // Run 0..=2 compacts; w=3, pending {4} → bit 0.
+        assert_eq!(g.watermark(), 3);
+        assert_eq!(g.mask_above(), 0b1);
     }
 }

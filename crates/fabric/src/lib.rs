@@ -36,11 +36,23 @@
 //!
 //! A [`FaultPlan`] attached to the configuration schedules timed chaos
 //! phases — latency spikes, delivery reordering, receiver-not-ready storms,
-//! and injection-queue brownouts — executed by the wire from the same seeded
-//! RNG as delivery jitter. Combined with the caller-stepped
-//! [`Fabric::new_manual`] mode (a virtual clock instead of a wire thread),
-//! any failing chaos schedule replays bit-for-bit from `(seed, plan)`;
-//! per-endpoint fault counters are surfaced in [`StatsSnapshot`].
+//! injection-queue brownouts, wire corruption/duplication/truncation ghosts,
+//! probabilistic packet loss ([`Fault::Drop`]), and single-host partitions
+//! ([`Fault::Blackhole`]) — executed by the wire from the same seeded RNG as
+//! delivery jitter. Combined with the caller-stepped [`Fabric::new_manual`]
+//! mode (a virtual clock instead of a wire thread), any failing chaos
+//! schedule replays bit-for-bit from `(seed, plan)`; per-endpoint fault
+//! counters are surfaced in [`StatsSnapshot`].
+//!
+//! ## Reliable delivery
+//!
+//! The lossy faults genuinely eat packets (senders still observe
+//! `SendDone`), so the crate also ships the recovery layer the runtimes
+//! stack on top: [`reliable::ReliableSession`] adds per-destination sliding
+//! send windows, cumulative + selective acks piggybacked on reverse
+//! traffic, seeded exponential-backoff retransmission, and bounded-time
+//! peer-failure detection ([`SendError::PeerDead`]), tuned via
+//! [`ReliableConfig`]. See the [`reliable`] module docs.
 
 #![warn(missing_docs)]
 
@@ -53,11 +65,13 @@ mod wire;
 
 pub mod busy;
 pub mod frame;
+pub mod reliable;
 
-pub use config::{FabricConfig, Fault, FaultPhase, FaultPlan, WireModel};
+pub use config::{FabricConfig, Fault, FaultPhase, FaultPlan, ReliableConfig, WireModel};
 pub use endpoint::{Endpoint, Event, FatalKind, PacketBuf};
 pub use error::SendError;
 pub use mr::{MemRegion, MrKey};
+pub use reliable::{RelRecv, ReliableSession, REL_DATA_OFFSET, REL_OVERHEAD};
 pub use stats::StatsSnapshot;
 pub use wire::Fabric;
 

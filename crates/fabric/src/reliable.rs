@@ -1,0 +1,605 @@
+//! Reliable delivery over a lossy wire: sliding windows, cumulative +
+//! selective acks, seeded exponential-backoff retransmission, and
+//! bounded-time peer-failure detection.
+//!
+//! The fabric's lossy faults ([`Fault::Drop`](crate::Fault),
+//! [`Fault::Blackhole`](crate::Fault)) eat eager deliveries outright — the
+//! sender still sees `SendDone` (the packet left its NIC), so only a layer
+//! that *retransmits* recovers the payload. [`ReliableSession`] is that
+//! layer, shared by `lci::Device` and `mini-mpi`:
+//!
+//! * every data frame carries a 13-byte header inside the
+//!   [`frame`](crate::frame) body — `[ack: u64 LE][sack: u32 LE][flags: u8]`
+//!   — piggybacking the receiver state of the destination on reverse
+//!   traffic;
+//! * a bounded per-destination send window holds sealed unacked frames;
+//!   a full window surfaces [`SendError::Backpressure`] (bounded buffering,
+//!   the same retryable condition as NIC back-pressure);
+//! * `ack` is the destination gate's low watermark (cumulative: everything
+//!   below it arrived), `sack` a bitmap of the 32 sequence numbers above it
+//!   (selective: lets one lost frame not hold back acknowledgment of its
+//!   successors);
+//! * receivers owe an ack after every admitted data frame and settle the
+//!   debt by piggybacking, by a standalone ack frame once a virtual-clock
+//!   delay expires, or — crucially for the caller-stepped fabric mode,
+//!   where an idle wire freezes the clock — after
+//!   [`ReliableConfig::ack_every`] admitted frames regardless of time;
+//! * unacked frames retransmit on a seeded exponential-backoff timer with
+//!   jitter; exhausting [`ReliableConfig::retry_budget`] declares the
+//!   destination dead and surfaces [`SendError::PeerDead`], which runtimes
+//!   convert into a clean bounded-time abort instead of a wedged barrier.
+//!
+//! RDMA puts bypass this module entirely: they are hardware-reliable in the
+//! fabric model, exactly as the paper's transports assume.
+//!
+//! All activity is counted under `fabric.reliable.*` in `lci-trace`, and
+//! every timer draws jitter from a splitmix64 stream seeded by
+//! `(fabric seed, host)`, so manual-mode runs replay bit-for-bit.
+
+use crate::config::ReliableConfig;
+use crate::endpoint::Endpoint;
+use crate::error::SendError;
+use crate::frame;
+use crate::HostId;
+use lci_trace::Counter;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Bytes of reliable-layer header inside every framed body:
+/// `[ack: u64][sack: u32][flags: u8]`.
+pub const REL_OVERHEAD: usize = 13;
+
+/// Offset of the application body inside a delivered fabric payload:
+/// frame prefix + reliable header. Consumers slice
+/// `payload[REL_DATA_OFFSET..]` after [`ReliableSession::on_recv`] returns
+/// [`RelRecv::Data`].
+pub const REL_DATA_OFFSET: usize = frame::FRAME_OVERHEAD + REL_OVERHEAD;
+
+/// Message header used by standalone ack frames. Never collides with
+/// application headers in practice (both runtimes pack an op kind in the
+/// top bits and none uses the all-ones pattern); the `flags` byte is the
+/// authoritative discriminator regardless.
+pub const ACK_HEADER: u64 = u64::MAX;
+
+const FLAG_DATA: u8 = 0;
+const FLAG_ACK: u8 = 1;
+
+/// What [`ReliableSession::on_recv`] decided about a delivered payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelRecv {
+    /// A fresh in-window data frame: consume the application body at
+    /// `payload[REL_DATA_OFFSET..]`.
+    Data,
+    /// A retransmission of an already-admitted frame (our ack was lost, or
+    /// the wire duplicated it). The ack debt has been re-armed; drop the
+    /// payload.
+    Duplicate,
+    /// Failed frame or reliable-header validation (corrupt/truncated ghost,
+    /// or a structurally damaged frame). Drop the payload.
+    Malformed,
+    /// A standalone ack frame — pure control traffic, nothing to consume.
+    Ack,
+}
+
+struct Unacked {
+    seq: u64,
+    header: u64,
+    /// The sealed frame, byte-for-byte as first transmitted (retransmits
+    /// must be bit-identical so the receiver's gate and checksum treat
+    /// them as the same frame).
+    frame: Vec<u8>,
+    retries: u32,
+    rto_at: u64,
+    rto_ns: u64,
+}
+
+struct PeerTx {
+    next_seq: u64,
+    window: VecDeque<Unacked>,
+    dead: bool,
+}
+
+struct PeerRx {
+    gate: frame::SeqGate,
+    ack_owed: bool,
+    ack_deadline: u64,
+    owed_count: u32,
+}
+
+struct PeerState {
+    tx: PeerTx,
+    rx: PeerRx,
+}
+
+/// One host's reliable-delivery state, layered over its [`Endpoint`].
+///
+/// The session does not poll the endpoint itself: the owning runtime feeds
+/// every received payload through [`ReliableSession::on_recv`] and calls
+/// [`ReliableSession::pump`] from its progress loop to fire retransmission
+/// and standalone-ack timers.
+pub struct ReliableSession {
+    cfg: ReliableConfig,
+    peers: Vec<Mutex<PeerState>>,
+    /// splitmix64 state for timer jitter (seeded from fabric seed + host,
+    /// independent of the `rand` crate so replay needs no RNG coupling).
+    rng: Mutex<u64>,
+    /// First peer declared dead, surfaced to the runtime's failure path.
+    dead: Mutex<Option<HostId>>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ReliableSession {
+    /// A session for `ep`'s host, tuned by the fabric's
+    /// [`ReliableConfig`].
+    pub fn new(ep: &Endpoint) -> Self {
+        let cfg = ep.config().reliable;
+        assert!(cfg.window >= 1, "reliable window must be >= 1");
+        assert!(cfg.ack_every >= 1, "ack_every must be >= 1");
+        let mut seed = ep.config().seed ^ 0xAC4E ^ ((ep.host() as u64) << 32);
+        // Scramble once so nearby host ids do not produce nearby streams.
+        splitmix64(&mut seed);
+        ReliableSession {
+            cfg,
+            peers: (0..ep.num_hosts())
+                .map(|_| {
+                    Mutex::new(PeerState {
+                        tx: PeerTx {
+                            next_seq: 0,
+                            window: VecDeque::new(),
+                            dead: false,
+                        },
+                        rx: PeerRx {
+                            gate: frame::SeqGate::new(),
+                            ack_owed: false,
+                            ack_deadline: 0,
+                            owed_count: 0,
+                        },
+                    })
+                })
+                .collect(),
+            rng: Mutex::new(seed),
+            dead: Mutex::new(None),
+        }
+    }
+
+    fn jitter_ns(&self) -> u64 {
+        if self.cfg.rto_jitter_ns == 0 {
+            return 0;
+        }
+        splitmix64(&mut self.rng.lock()) % self.cfg.rto_jitter_ns
+    }
+
+    /// Reliably send `body` to `dst`: seal it behind a frame + reliable
+    /// header, transmit, and hold it in the window until acked.
+    ///
+    /// `ctx` is returned in the `SendDone` of the *first* transmission only
+    /// (retransmissions complete with ctx 0), so completion-cookie callers
+    /// see exactly one completion per send.
+    ///
+    /// Errors: [`SendError::PeerDead`] once the destination's retry budget
+    /// was exhausted; [`SendError::Backpressure`] when the send window is
+    /// full (retry after pumping progress); fabric admission errors pass
+    /// through. On any error the sequence number is *not* consumed.
+    pub fn send(
+        &self,
+        ep: &Endpoint,
+        dst: HostId,
+        header: u64,
+        body: &[u8],
+        ctx: u64,
+    ) -> Result<(), SendError> {
+        let mut p = self.peers[dst as usize].lock();
+        if p.tx.dead {
+            return Err(SendError::PeerDead(dst));
+        }
+        if p.tx.window.len() >= self.cfg.window {
+            lci_trace::incr(Counter::FabricReliableWindowStalls);
+            return Err(SendError::Backpressure);
+        }
+        let seq = p.tx.next_seq;
+        let mut rel = Vec::with_capacity(REL_OVERHEAD + body.len());
+        rel.extend_from_slice(&p.rx.gate.watermark().to_le_bytes());
+        rel.extend_from_slice(&p.rx.gate.mask_above().to_le_bytes());
+        rel.push(FLAG_DATA);
+        rel.extend_from_slice(body);
+        let framed = frame::seal(header, seq, &rel);
+        ep.try_send(dst, header, &framed, ctx)?;
+        p.tx.next_seq += 1;
+        let now = ep.now_ns();
+        let rto = self.cfg.rto_base_ns;
+        p.tx.window.push_back(Unacked {
+            seq,
+            header,
+            frame: framed,
+            retries: 0,
+            rto_at: now + rto + self.jitter_ns(),
+            rto_ns: rto,
+        });
+        // The frame piggybacked our full receiver state for dst: the ack
+        // debt is settled.
+        p.rx.ack_owed = false;
+        p.rx.owed_count = 0;
+        Ok(())
+    }
+
+    /// Classify a payload delivered from `src` and update reliable state.
+    ///
+    /// Call this on every `Event::Recv` *before* decoding anything. Only
+    /// on [`RelRecv::Data`] does the caller consume the application body,
+    /// at `payload[REL_DATA_OFFSET..]` — the slice convention (rather than
+    /// returning an owned body) lets `PacketBuf` holders keep their
+    /// receive-credit semantics.
+    pub fn on_recv(&self, ep: &Endpoint, src: HostId, header: u64, payload: &[u8]) -> RelRecv {
+        let Ok((seq, rel)) = frame::open(header, payload) else {
+            return RelRecv::Malformed;
+        };
+        if rel.len() < REL_OVERHEAD {
+            return RelRecv::Malformed;
+        }
+        let ack = u64::from_le_bytes(rel[..8].try_into().expect("8 bytes"));
+        let sack = u32::from_le_bytes(rel[8..12].try_into().expect("4 bytes"));
+        let flags = rel[12];
+        if flags > FLAG_ACK {
+            return RelRecv::Malformed;
+        }
+        let mut p = self.peers[src as usize].lock();
+        // Harvest ack state first — every frame carries it.
+        let mut acked = 0u64;
+        while p.tx.window.front().is_some_and(|u| u.seq < ack) {
+            p.tx.window.pop_front();
+            acked += 1;
+        }
+        if sack != 0 {
+            p.tx.window.retain(|u| {
+                let hit =
+                    u.seq > ack && u.seq <= ack + 32 && (sack >> (u.seq - ack - 1)) & 1 == 1;
+                if hit {
+                    acked += 1;
+                }
+                !hit
+            });
+        }
+        if acked > 0 {
+            lci_trace::add(Counter::FabricReliableAcked, acked);
+        }
+        if flags == FLAG_ACK {
+            return RelRecv::Ack;
+        }
+        if !p.rx.gate.admit(seq) {
+            // A retransmission of something we already admitted means our
+            // ack was lost (or arrived after the peer's timer fired):
+            // re-arm the debt so a fresh ack goes out even with no reverse
+            // data traffic.
+            if !p.rx.ack_owed {
+                p.rx.ack_deadline = ep.now_ns() + self.cfg.ack_delay_ns;
+            }
+            p.rx.ack_owed = true;
+            p.rx.owed_count += 1;
+            return RelRecv::Duplicate;
+        }
+        if !p.rx.ack_owed {
+            p.rx.ack_deadline = ep.now_ns() + self.cfg.ack_delay_ns;
+        }
+        p.rx.ack_owed = true;
+        p.rx.owed_count += 1;
+        RelRecv::Data
+    }
+
+    /// Fire due timers: retransmit overdue unacked frames (declaring the
+    /// peer dead when one exhausts its budget) and send standalone acks for
+    /// overdue or over-count ack debt. Returns the number of wire
+    /// operations injected. Call from every progress loop.
+    pub fn pump(&self, ep: &Endpoint) -> usize {
+        let mut injected = 0;
+        for (dst, peer) in self.peers.iter().enumerate() {
+            let dst = dst as HostId;
+            let mut p = peer.lock();
+            let now = ep.now_ns();
+            // Retransmissions, oldest first.
+            if !p.tx.dead {
+                let mut i = 0;
+                while i < p.tx.window.len() {
+                    if p.tx.window[i].rto_at > now {
+                        i += 1;
+                        continue;
+                    }
+                    if p.tx.window[i].retries >= self.cfg.retry_budget {
+                        // Budget exhausted: the peer is unreachable. Drop
+                        // the whole window — nothing will ever be acked —
+                        // and surface the failure.
+                        p.tx.dead = true;
+                        p.tx.window.clear();
+                        lci_trace::incr(Counter::FabricReliablePeerDead);
+                        let mut dead = self.dead.lock();
+                        if dead.is_none() {
+                            *dead = Some(dst);
+                        }
+                        break;
+                    }
+                    let (header, framed) = {
+                        let u = &p.tx.window[i];
+                        (u.header, u.frame.clone())
+                    };
+                    match ep.try_send(dst, header, &framed, 0) {
+                        Ok(()) => {
+                            injected += 1;
+                            lci_trace::incr(Counter::FabricReliableRetransmits);
+                            let jitter = self.jitter_ns();
+                            let u = &mut p.tx.window[i];
+                            u.retries += 1;
+                            u.rto_ns = (u.rto_ns * 2).min(self.cfg.rto_cap_ns);
+                            u.rto_at = now + u.rto_ns + jitter;
+                            i += 1;
+                        }
+                        Err(SendError::Backpressure) => {
+                            // Injection queue full: not the peer's fault, so
+                            // the retry budget is untouched. Try again on
+                            // the next pump.
+                            p.tx.window[i].rto_at = now + self.cfg.rto_base_ns;
+                            break;
+                        }
+                        Err(_) => {
+                            // Endpoint failed or fabric closed: leave state
+                            // for the runtime's own failure path.
+                            return injected;
+                        }
+                    }
+                }
+            }
+            // Standalone ack: fire on deadline, or on count so a frozen
+            // virtual clock cannot leave a peer's window stuffed forever.
+            if p.rx.ack_owed && (now >= p.rx.ack_deadline || p.rx.owed_count >= self.cfg.ack_every)
+            {
+                let mut rel = [0u8; REL_OVERHEAD];
+                rel[..8].copy_from_slice(&p.rx.gate.watermark().to_le_bytes());
+                rel[8..12].copy_from_slice(&p.rx.gate.mask_above().to_le_bytes());
+                rel[12] = FLAG_ACK;
+                // Acks are not sequenced (the receiver never gates them)
+                // and never retransmitted — data retransmission re-arms the
+                // debt if one is lost.
+                let framed = frame::seal(ACK_HEADER, p.tx.next_seq, &rel);
+                if ep.try_send(dst, ACK_HEADER, &framed, 0).is_ok() {
+                    injected += 1;
+                    lci_trace::incr(Counter::FabricReliableAcksSent);
+                    p.rx.ack_owed = false;
+                    p.rx.owed_count = 0;
+                }
+            }
+        }
+        injected
+    }
+
+    /// The first destination declared dead by budget exhaustion, if any.
+    /// Runtimes poll this from their progress loop and convert it into
+    /// their own fatal-abort path.
+    pub fn dead_peer(&self) -> Option<HostId> {
+        *self.dead.lock()
+    }
+
+    /// Unacked frames currently windowed toward `peer` (diagnostics).
+    pub fn unacked(&self, peer: HostId) -> usize {
+        self.peers[peer as usize].lock().tx.window.len()
+    }
+
+    /// True while any peer is owed an acknowledgement not yet on the wire.
+    /// Quiesce paths wait this out alongside their own unacked frames: a
+    /// host that retires with debt outstanding leaves the sender
+    /// retransmitting into silence until its budget falsely declares this
+    /// host dead.
+    pub fn acks_owed(&self) -> bool {
+        self.peers.iter().any(|p| p.lock().rx.ack_owed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FabricConfig, Fault, FaultPlan};
+    use crate::endpoint::Event;
+    use crate::wire::Fabric;
+
+    /// Deliver everything pending, feeding each endpoint's receipts through
+    /// its session; returns bodies of fresh data frames seen at each host.
+    fn drain_and_classify(
+        f: &Fabric,
+        eps: &[Endpoint],
+        sessions: &[ReliableSession],
+    ) -> Vec<Vec<Vec<u8>>> {
+        f.drain();
+        let mut out = vec![Vec::new(); eps.len()];
+        for (i, ep) in eps.iter().enumerate() {
+            while let Some(ev) = ep.poll() {
+                if let Event::Recv { src, header, data } = ev {
+                    if sessions[i].on_recv(ep, src, header, &data) == RelRecv::Data {
+                        out[i].push(data[REL_DATA_OFFSET..].to_vec());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn data_roundtrip_and_standalone_ack_drain_the_window() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 1));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        sessions[0]
+            .send(&eps[0], 1, 77, b"hello", 0)
+            .expect("send admitted");
+        assert_eq!(sessions[0].unacked(1), 1);
+        let got = drain_and_classify(&f, &eps, &sessions);
+        assert_eq!(got[1], vec![b"hello".to_vec()]);
+        // No reverse data traffic: the ack debt settles via a standalone
+        // ack once the delay expires.
+        f.advance_virtual(f.config().reliable.ack_delay_ns + 1);
+        assert!(sessions[1].pump(&eps[1]) >= 1, "standalone ack fires");
+        let got = drain_and_classify(&f, &eps, &sessions);
+        assert!(got[0].is_empty(), "acks carry no data");
+        assert_eq!(sessions[0].unacked(1), 0, "cumulative ack emptied it");
+    }
+
+    #[test]
+    fn piggybacked_ack_on_reverse_traffic_drains_the_window() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 2));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        sessions[0].send(&eps[0], 1, 1, b"ping", 0).unwrap();
+        drain_and_classify(&f, &eps, &sessions);
+        // The reply frames the responder's gate state: no standalone ack
+        // needed.
+        sessions[1].send(&eps[1], 0, 2, b"pong", 0).unwrap();
+        let got = drain_and_classify(&f, &eps, &sessions);
+        assert_eq!(got[0], vec![b"pong".to_vec()]);
+        assert_eq!(sessions[0].unacked(1), 0, "piggybacked ack arrived");
+    }
+
+    #[test]
+    fn count_triggered_ack_fires_with_a_frozen_clock() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 3));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        let every = f.config().reliable.ack_every;
+        for i in 0..every as u64 {
+            sessions[0]
+                .send(&eps[0], 1, 10 + i, b"burst", 0)
+                .unwrap();
+        }
+        drain_and_classify(&f, &eps, &sessions);
+        // Do NOT advance the clock: the count rule alone must trigger.
+        assert!(sessions[1].pump(&eps[1]) >= 1, "count-triggered ack");
+        drain_and_classify(&f, &eps, &sessions);
+        assert_eq!(sessions[0].unacked(1), 0);
+    }
+
+    #[test]
+    fn loss_is_recovered_by_retransmission() {
+        // 100% loss for the first 50 µs, clean wire afterwards.
+        let plan = FaultPlan::none().with_phase(
+            0,
+            50_000,
+            Fault::Drop {
+                prob_ppm: 1_000_000,
+            },
+        );
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 4).with_fault_plan(plan));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        let c0 = lci_trace::global().snapshot();
+        sessions[0].send(&eps[0], 1, 9, b"lossy", 7).unwrap();
+        let got = drain_and_classify(&f, &eps, &sessions);
+        assert!(got[1].is_empty(), "original was eaten");
+        assert_eq!(eps[0].stats().fault_dropped, 1);
+        // Let the RTO fire (clock is idle, so advance it), then pump.
+        let mut delivered = Vec::new();
+        for _ in 0..64 {
+            f.advance_virtual(f.config().reliable.rto_cap_ns);
+            sessions[0].pump(&eps[0]);
+            delivered = drain_and_classify(&f, &eps, &sessions).swap_remove(1);
+            if !delivered.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(delivered, vec![b"lossy".to_vec()]);
+        let d = lci_trace::global().snapshot().delta(&c0);
+        assert!(d.get(Counter::FabricReliableRetransmits) >= 1);
+    }
+
+    #[test]
+    fn retransmission_of_an_admitted_frame_is_a_duplicate_and_rearms_ack() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 5));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        sessions[0].send(&eps[0], 1, 3, b"once", 0).unwrap();
+        drain_and_classify(&f, &eps, &sessions);
+        // Pretend the ack was lost: force the sender's RTO and retransmit.
+        f.advance_virtual(f.config().reliable.rto_cap_ns * 2);
+        assert!(sessions[0].pump(&eps[0]) >= 1, "RTO retransmission");
+        f.drain();
+        let mut verdicts = Vec::new();
+        while let Some(ev) = eps[1].poll() {
+            if let Event::Recv { src, header, data } = ev {
+                verdicts.push(sessions[1].on_recv(&eps[1], src, header, &data));
+            }
+        }
+        assert_eq!(verdicts, vec![RelRecv::Duplicate]);
+        // The duplicate re-armed the debt: the re-ack drains the window.
+        f.advance_virtual(f.config().reliable.ack_delay_ns + 1);
+        sessions[1].pump(&eps[1]);
+        drain_and_classify(&f, &eps, &sessions);
+        assert_eq!(sessions[0].unacked(1), 0);
+    }
+
+    #[test]
+    fn full_window_is_backpressure_not_buffering() {
+        let mut cfg = FabricConfig::deterministic(2, 6);
+        cfg.reliable.window = 2;
+        let f = Fabric::new_manual(cfg);
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        let c0 = lci_trace::global().snapshot();
+        sessions[0].send(&eps[0], 1, 1, b"a", 0).unwrap();
+        sessions[0].send(&eps[0], 1, 2, b"b", 0).unwrap();
+        assert_eq!(
+            sessions[0].send(&eps[0], 1, 3, b"c", 0),
+            Err(SendError::Backpressure)
+        );
+        let d = lci_trace::global().snapshot().delta(&c0);
+        assert!(d.get(Counter::FabricReliableWindowStalls) >= 1);
+    }
+
+    #[test]
+    fn blackhole_exhausts_the_budget_and_surfaces_peer_dead() {
+        let plan =
+            FaultPlan::none().with_phase(0, u64::MAX / 2, Fault::Blackhole { peer: 1 });
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 7).with_fault_plan(plan));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        let c0 = lci_trace::global().snapshot();
+        sessions[0].send(&eps[0], 1, 1, b"doomed", 0).unwrap();
+        // Budget 12, RTO capped at 8 ms: death within ~100 ms of virtual
+        // time — bounded by a fixed iteration count here.
+        let mut iters = 0;
+        while sessions[0].dead_peer().is_none() {
+            iters += 1;
+            assert!(iters < 1_000, "peer death must be bounded-time");
+            f.advance_virtual(f.config().reliable.rto_cap_ns);
+            sessions[0].pump(&eps[0]);
+            f.drain();
+            while eps[0].poll().is_some() {}
+        }
+        assert_eq!(sessions[0].dead_peer(), Some(1));
+        assert_eq!(
+            sessions[0].send(&eps[0], 1, 2, b"late", 0),
+            Err(SendError::PeerDead(1))
+        );
+        assert_eq!(sessions[0].unacked(1), 0, "dead window is cleared");
+        let d = lci_trace::global().snapshot().delta(&c0);
+        assert_eq!(d.get(Counter::FabricReliablePeerDead), 1);
+        assert!(d.get(Counter::FabricReliableRetransmits) >= 12);
+    }
+
+    #[test]
+    fn malformed_and_short_rel_bodies_are_rejected() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 8));
+        let eps = f.endpoints();
+        let s = ReliableSession::new(&eps[1]);
+        // Not even a valid frame.
+        assert_eq!(s.on_recv(&eps[1], 0, 1, b"garbage"), RelRecv::Malformed);
+        // Valid frame, body shorter than the reliable header.
+        let tiny = frame::seal(1, 0, &[0u8; REL_OVERHEAD - 1]);
+        assert_eq!(s.on_recv(&eps[1], 0, 1, &tiny), RelRecv::Malformed);
+        // Valid frame, undefined flags value.
+        let mut rel = [0u8; REL_OVERHEAD];
+        rel[12] = 2;
+        let bad_flags = frame::seal(1, 0, &rel);
+        assert_eq!(s.on_recv(&eps[1], 0, 1, &bad_flags), RelRecv::Malformed);
+    }
+}

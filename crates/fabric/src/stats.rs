@@ -25,6 +25,8 @@ pub(crate) struct EndpointStats {
     pub fault_corrupted: AtomicU64,
     pub fault_duplicated: AtomicU64,
     pub fault_truncated: AtomicU64,
+    pub fault_dropped: AtomicU64,
+    pub fault_blackholed: AtomicU64,
 }
 
 impl EndpointStats {
@@ -120,6 +122,20 @@ impl EndpointStats {
         lci_trace::record(EventKind::Fault, 5, 0);
     }
 
+    /// A delivery sent by this endpoint was eaten by a lossy-wire fault.
+    pub fn record_fault_dropped(&self) {
+        self.fault_dropped.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultDropped, 1);
+        lci_trace::record(EventKind::Fault, 6, 0);
+    }
+
+    /// A delivery sent by this endpoint vanished into a blackhole fault.
+    pub fn record_fault_blackholed(&self) {
+        self.fault_blackholed.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultBlackholed, 1);
+        lci_trace::record(EventKind::Fault, 7, 0);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sends: self.sends.load(Ordering::Relaxed),
@@ -137,6 +153,8 @@ impl EndpointStats {
             fault_corrupted: self.fault_corrupted.load(Ordering::Relaxed),
             fault_duplicated: self.fault_duplicated.load(Ordering::Relaxed),
             fault_truncated: self.fault_truncated.load(Ordering::Relaxed),
+            fault_dropped: self.fault_dropped.load(Ordering::Relaxed),
+            fault_blackholed: self.fault_blackholed.load(Ordering::Relaxed),
         }
     }
 }
@@ -176,6 +194,10 @@ pub struct StatsSnapshot {
     pub fault_duplicated: u64,
     /// Truncated ghost copies delivered *to* this endpoint.
     pub fault_truncated: u64,
+    /// Deliveries *sent by* this endpoint eaten by a lossy-wire fault.
+    pub fault_dropped: u64,
+    /// Deliveries *sent by* this endpoint that vanished into a blackhole.
+    pub fault_blackholed: u64,
 }
 
 impl StatsSnapshot {
@@ -198,6 +220,8 @@ impl StatsSnapshot {
             + self.fault_corrupted
             + self.fault_duplicated
             + self.fault_truncated
+            + self.fault_dropped
+            + self.fault_blackholed
     }
 }
 
@@ -228,6 +252,8 @@ mod tests {
         s.fault_corrupted.store(5, Ordering::Relaxed);
         s.fault_duplicated.store(6, Ordering::Relaxed);
         s.fault_truncated.store(7, Ordering::Relaxed);
-        assert_eq!(s.snapshot().fault_events(), 28);
+        s.fault_dropped.store(8, Ordering::Relaxed);
+        s.fault_blackholed.store(9, Ordering::Relaxed);
+        assert_eq!(s.snapshot().fault_events(), 45);
     }
 }

@@ -22,7 +22,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,14 @@ pub(crate) struct FabricShared {
     /// `usize::MAX` when no brownout is active. Written by the wire,
     /// read by [`Endpoint`] admission.
     pub(crate) brownout_depth: AtomicUsize,
+    /// Wall-clock construction time: the threaded mode's simulated-time
+    /// origin, read by [`Endpoint::now_ns`].
+    pub(crate) epoch: Instant,
+    /// Mirror of the manual-mode virtual clock, advanced by the wire core
+    /// so endpoints can timestamp without taking the wire lock.
+    pub(crate) virtual_now: AtomicU64,
+    /// Is this fabric caller-stepped (virtual clock)?
+    pub(crate) manual: bool,
 }
 
 /// A simulated cluster interconnect.
@@ -133,6 +141,9 @@ impl Fabric {
             inj_tx,
             closed: AtomicBool::new(false),
             brownout_depth: AtomicUsize::new(depth0),
+            epoch: Instant::now(),
+            virtual_now: AtomicU64::new(0),
+            manual,
         });
         if manual {
             let core = WireCore::new(Arc::clone(&shared), inj_rx, Clock::Virtual(0));
@@ -142,7 +153,7 @@ impl Fabric {
                 manual: Some(Mutex::new(core)),
             }
         } else {
-            let core = WireCore::new(Arc::clone(&shared), inj_rx, Clock::Wall(Instant::now()));
+            let core = WireCore::new(Arc::clone(&shared), inj_rx, Clock::Wall(shared.epoch));
             let wire = std::thread::Builder::new()
                 .name("lci-fabric-wire".into())
                 .spawn(move || core.run())
@@ -225,6 +236,26 @@ impl Fabric {
     pub fn sim_time_ns(&self) -> Option<u64> {
         self.manual.as_ref().map(|m| m.lock().now_ns())
     }
+
+    /// Manual mode only: advance the virtual clock by up to `ns`, but never
+    /// past the next scheduled delivery (stepping past it would deliver out
+    /// of order). Returns the clock after the jump.
+    ///
+    /// The virtual clock otherwise only moves when a scheduled event is
+    /// executed, so an *idle* wire freezes time — and with it every
+    /// timeout in the [`crate::reliable`] sublayer. Tests that need
+    /// retransmission timers to fire while nothing is in flight call this
+    /// between [`Fabric::step`]s.
+    ///
+    /// # Panics
+    /// Panics on a fabric built with [`Fabric::new`].
+    pub fn advance_virtual(&self, ns: u64) -> u64 {
+        self.manual
+            .as_ref()
+            .expect("Fabric::advance_virtual requires a fabric built with Fabric::new_manual")
+            .lock()
+            .advance_virtual(ns)
+    }
 }
 
 impl Drop for Fabric {
@@ -305,11 +336,26 @@ impl WireCore {
     }
 
     /// Jump the virtual clock forward to `at` (no-op on a wall clock, which
-    /// advances on its own).
+    /// advances on its own). Mirrors the new value into the shared atomic
+    /// endpoints read for timestamps.
     fn advance_to(&mut self, at: u64) {
         if let Clock::Virtual(t) = &mut self.clock {
             *t = (*t).max(at);
+            self.shared.virtual_now.store(*t, Ordering::Relaxed);
         }
+    }
+
+    /// Manual mode: advance the virtual clock by up to `ns`, clamped to the
+    /// next scheduled delivery so event order is preserved.
+    fn advance_virtual(&mut self, ns: u64) -> u64 {
+        self.drain_injected();
+        let target = match self.heap.peek() {
+            Some(Reverse(head)) => (self.now_ns() + ns).min(head.at),
+            None => self.now_ns() + ns,
+        };
+        self.advance_to(target);
+        self.sync_brownout();
+        self.now_ns()
     }
 
     fn scaled(&self, ns: f64) -> u64 {
@@ -606,6 +652,34 @@ impl WireCore {
             } => {
                 let d = Arc::clone(&self.shared.endpoints[dst as usize]);
                 let s = Arc::clone(&self.shared.endpoints[src as usize]);
+                let now = self.now_ns();
+                // Lossy faults eat the delivery outright. The sender still
+                // observes SendDone — the packet left its NIC and the wire
+                // swallowed it — so completion bookkeeping above the fabric
+                // (packet-pool cookies, inflight windows) stays intact and
+                // only a retransmitting layer notices the loss. Ghosts that
+                // hit a lossy phase simply vanish: they were never
+                // initiated, so they complete nothing.
+                let blackholed = self.shared.config.fault_plan.blackhole_at(now, src)
+                    || self.shared.config.fault_plan.blackhole_at(now, dst);
+                if blackholed {
+                    if !ghost {
+                        s.stats.record_fault_blackholed();
+                        s.cq.push(Event::SendDone { ctx });
+                        s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    return;
+                }
+                if let Some(ppm) = self.shared.config.fault_plan.drop_at(now) {
+                    // Only real sends roll the dice, keeping the RNG stream
+                    // (and thus replay) independent of ghost scheduling.
+                    if !ghost && self.rng.gen_range(0..1_000_000u64) < ppm as u64 {
+                        s.stats.record_fault_dropped();
+                        s.cq.push(Event::SendDone { ctx });
+                        s.inflight.fetch_sub(1, Ordering::AcqRel);
+                        return;
+                    }
+                }
                 // An active RNR storm against `dst` bounces the delivery as
                 // if its receive buffers were exhausted, regardless of the
                 // actual credit count.
@@ -889,5 +963,93 @@ mod tests {
     fn invalid_fault_plan_is_rejected_at_construction() {
         let plan = FaultPlan::none().with_phase(0, 10, Fault::RnrStorm { target: 9 });
         let _ = Fabric::new(FabricConfig::test(2).with_fault_plan(plan));
+    }
+
+    #[test]
+    fn drop_fault_eats_the_original_but_completes_the_send() {
+        let plan = FaultPlan::none().with_phase(
+            0,
+            u64::MAX / 2,
+            Fault::Drop {
+                prob_ppm: 1_000_000,
+            },
+        );
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 3).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        a.try_send(1, 9, b"payload", 5).unwrap();
+        f.drain();
+        assert!(b.poll().is_none(), "a dropped delivery must not arrive");
+        let mut send_done = 0;
+        while let Some(ev) = a.poll() {
+            if matches!(ev, Event::SendDone { ctx: 5 }) {
+                send_done += 1;
+            }
+        }
+        assert_eq!(send_done, 1, "the sender still sees the packet leave");
+        assert_eq!(a.stats().fault_dropped, 1);
+        assert_eq!(b.stats().recvs, 0);
+        assert_eq!(a.inflight(), 0, "drop must release the injection slot");
+    }
+
+    #[test]
+    fn blackhole_fault_partitions_one_host_both_ways() {
+        let plan = FaultPlan::none().with_phase(0, u64::MAX / 2, Fault::Blackhole { peer: 1 });
+        let f = Fabric::new_manual(FabricConfig::deterministic(3, 3).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        let c = f.endpoint(2);
+        a.try_send(1, 1, b"into the hole", 10).unwrap();
+        b.try_send(2, 2, b"out of the hole", 11).unwrap();
+        a.try_send(2, 3, b"bystander", 12).unwrap();
+        f.drain();
+        // The blackholed host hears nothing (its own SendDone still
+        // completes — the packet left its NIC before the wire ate it).
+        let mut b_events = 0;
+        while let Some(ev) = b.poll() {
+            assert!(
+                matches!(ev, Event::SendDone { ctx: 11 }),
+                "traffic to the hole vanishes: {ev:?}"
+            );
+            b_events += 1;
+        }
+        assert_eq!(b_events, 1);
+        let mut got = Vec::new();
+        while let Some(ev) = c.poll() {
+            if let Event::Recv { header, .. } = ev {
+                got.push(header);
+            }
+        }
+        assert_eq!(got, vec![3], "only the bystander message survives");
+        assert_eq!(a.stats().fault_blackholed, 1);
+        assert_eq!(b.stats().fault_blackholed, 1);
+        // Senders observe completion regardless.
+        let mut done = 0;
+        while let Some(ev) = a.poll() {
+            if matches!(ev, Event::SendDone { .. }) {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 2);
+        // RDMA puts are exempt: hardware-reliable in the model.
+        let mr = b.register_mr(4);
+        a.try_put(1, mr.key(), 0, &[1, 2, 3, 4], 0, None).unwrap();
+        f.drain();
+        assert_eq!(mr.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn advance_virtual_is_clamped_to_the_next_delivery() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 1));
+        assert_eq!(f.advance_virtual(5_000), 5_000, "idle wire advances freely");
+        let a = f.endpoint(0);
+        a.try_send(1, 7, b"x", 0).unwrap();
+        let before = f.sim_time_ns().unwrap();
+        let after = f.advance_virtual(u64::MAX / 4);
+        assert!(
+            after >= before && after < u64::MAX / 8,
+            "advance past a scheduled delivery must clamp, got {after}"
+        );
+        assert!(f.step(), "the clamped delivery still executes");
     }
 }

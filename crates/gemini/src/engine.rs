@@ -47,12 +47,30 @@ impl Default for GeminiConfig {
 
 /// Run a vertex program Gemini-style. `parts` must be an edge-cut
 /// partitioning (mirrors must not own out-edges).
+///
+/// Panics if any host's communication layer fails fatally (e.g. a peer is
+/// declared unreachable); use [`run_gemini_checked`] to receive the failure
+/// as an error instead.
 pub fn run_gemini<A: App>(
     parts: &Partitioning,
     app: Arc<A>,
     layers: &[Arc<dyn CommLayer>],
     cfg: &GeminiConfig,
 ) -> RunResult<A::Acc> {
+    run_gemini_checked(parts, app, layers, cfg)
+        .unwrap_or_else(|e| panic!("engine aborted: {e}"))
+}
+
+/// Like [`run_gemini`], but a fatal communication-layer failure surfaces as
+/// `Err` with the first failing host's message instead of panicking. The
+/// abort is bounded: every host's receive loops poll [`CommLayer::failure`]
+/// while spinning, so no thread wedges on a round that can never complete.
+pub fn run_gemini_checked<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    layers: &[Arc<dyn CommLayer>],
+    cfg: &GeminiConfig,
+) -> Result<RunResult<A::Acc>, String> {
     assert_eq!(
         parts.policy,
         Policy::EdgeCutBlocked,
@@ -89,7 +107,7 @@ pub fn run_gemini<A: App>(
         })
         .collect();
 
-    let hosts: Vec<HostResult<A::Acc>> = std::thread::scope(|scope| {
+    let results: Vec<Result<HostResult<A::Acc>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..p)
             .map(|h| {
                 let part = &parts.parts[h];
@@ -103,6 +121,11 @@ pub fn run_gemini<A: App>(
         handles.into_iter().map(|h| h.join().expect("host")).collect()
     });
 
+    let mut hosts = Vec::with_capacity(p);
+    for r in results {
+        hosts.push(r?);
+    }
+
     let mut values = vec![app.identity(); parts.parts[0].global_n];
     let mut rounds = 0;
     for hr in &hosts {
@@ -111,11 +134,11 @@ pub fn run_gemini<A: App>(
             values[gid as usize] = v;
         }
     }
-    RunResult {
+    Ok(RunResult {
         hosts,
         values,
         rounds,
-    }
+    })
 }
 
 fn host_main<A: App>(
@@ -124,7 +147,7 @@ fn host_main<A: App>(
     layer: &dyn CommLayer,
     cfg: &GeminiConfig,
     spec: ChannelSpec,
-) -> HostResult<A::Acc> {
+) -> Result<HostResult<A::Acc>, String> {
     let p = part.num_hosts;
     let me = part.host;
     let nl = part.num_local();
@@ -272,7 +295,12 @@ fn host_main<A: App>(
                         None => lci_trace::incr(Counter::EngineMalformedDropped),
                     }
                 }
-                None => std::thread::yield_now(),
+                None => {
+                    if let Some(f) = layer.failure() {
+                        return Err(format!("host {me} aborted in round {round}: {f}"));
+                    }
+                    std::thread::yield_now();
+                }
             }
         }
 
@@ -306,7 +334,12 @@ fn host_main<A: App>(
                         lci_trace::incr(Counter::EngineMalformedDropped);
                     }
                 }
-                None => std::thread::yield_now(),
+                None => {
+                    if let Some(f) = layer.failure() {
+                        return Err(format!("host {me} aborted in round {round}: {f}"));
+                    }
+                    std::thread::yield_now();
+                }
             }
         }
 
@@ -327,6 +360,12 @@ fn host_main<A: App>(
             break;
         }
     }
+
+    // Flush before retiring: on a lossy wire this host may still hold the
+    // only surviving copy of a frame a peer needs, and the retransmission
+    // timers only fire while someone drives progress. A failure here is
+    // ignored — the fixpoint is already reached and the values final.
+    layer.quiesce();
 
     let book = layer.membook();
     metrics.mem_peak = book.peak();
@@ -351,11 +390,11 @@ fn host_main<A: App>(
         })
         .collect();
 
-    HostResult {
+    Ok(HostResult {
         host: me,
         masters,
         metrics,
-    }
+    })
 }
 
 /// Chunk wire format: `[kind u8][nchunks u16]` header, then:

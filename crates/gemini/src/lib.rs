@@ -19,4 +19,4 @@
 
 pub mod engine;
 
-pub use engine::{run_gemini, GeminiConfig};
+pub use engine::{run_gemini, run_gemini_checked, GeminiConfig};

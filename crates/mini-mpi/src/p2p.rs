@@ -20,7 +20,7 @@ use crate::personality::Personality;
 use crate::rma::{RmaState, WinRegistry};
 use bytes::Bytes;
 use lci_fabric::busy::spin_for_ns;
-use lci_fabric::frame;
+use lci_fabric::reliable::{RelRecv, ReliableSession, REL_DATA_OFFSET};
 use lci_fabric::{Endpoint, Event, MemRegion, SendError};
 use lci_trace::Counter;
 use parking_lot::Mutex;
@@ -254,13 +254,6 @@ pub(crate) struct State {
     pub matching: Matching,
     reorder: Vec<Reorder>,
     pending_puts: Vec<PendingPut>,
-    /// Per-destination transport-frame sequence counters. Plain integers:
-    /// every wire send happens under the state lock, and `wire_send` never
-    /// abandons a message (it retries until accepted or the communicator
-    /// fails fatally), so allocation is gap-free.
-    wire_seq: Vec<u64>,
-    /// Per-source transport-frame admission gates (duplicate rejection).
-    rx_gate: Vec<frame::SeqGate>,
     pub rma: RmaState,
     pub failed: Option<String>,
 }
@@ -271,6 +264,11 @@ struct CommInner {
     rank: u16,
     nranks: usize,
     state: Mutex<State>,
+    /// The reliable sublayer: framing, sequencing, dedup, ack/retransmit,
+    /// and peer-failure detection for every two-sided wire message. Lives
+    /// outside the state mutex (it has its own interior locking), but every
+    /// send and receive path holds the state lock anyway.
+    rel: ReliableSession,
     send_seq: Vec<AtomicU64>,
     registry: Arc<WinRegistry>,
     outstanding_rma_puts: AtomicU64,
@@ -294,11 +292,10 @@ impl MpiComm {
                     matching: Matching::default(),
                     reorder: (0..nranks).map(|_| Reorder::default()).collect(),
                     pending_puts: Vec::new(),
-                    wire_seq: vec![0; nranks],
-                    rx_gate: (0..nranks).map(|_| frame::SeqGate::new()).collect(),
                     rma: RmaState::default(),
                     failed: None,
                 }),
+                rel: ReliableSession::new(&ep),
                 send_seq: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
                 registry,
                 outstanding_rma_puts: AtomicU64::new(0),
@@ -386,6 +383,53 @@ impl MpiComm {
         self.inner.backpressure_spins.load(Ordering::Relaxed)
     }
 
+    /// The recorded fatal failure, if this communicator has died — e.g. the
+    /// reliable sublayer exhausted its retransmission budget and declared a
+    /// peer unreachable. Once set it never clears, and every subsequent MPI
+    /// call returns [`MpiError::Fatal`] with this message; pollers use this
+    /// accessor to abort bounded instead of spinning on a round that can no
+    /// longer complete.
+    pub fn failure(&self) -> Option<String> {
+        self.inner.state.lock().failed.clone()
+    }
+
+    /// True when nothing this communicator sent is still in flight at the
+    /// wire level — every reliable frame acknowledged, no rendezvous put
+    /// awaiting injection — and no peer is owed an acknowledgement (a rank
+    /// that retires with ack debt leaves the sender retransmitting into
+    /// silence until its budget falsely declares this rank dead). Inspects
+    /// state only — pair with a progress call (or use [`MpiComm::quiesce`]).
+    pub fn quiescent(&self) -> bool {
+        let st = self.inner.state.lock();
+        st.pending_puts.is_empty()
+            && !self.inner.rel.acks_owed()
+            && (0..self.inner.nranks).all(|p| self.inner.rel.unacked(p as u16) == 0)
+    }
+
+    /// Drive progress until [`MpiComm::quiescent`] holds or the
+    /// communicator fails. A rank that stops polling while retransmissions
+    /// are pending strands any peer whose only copy of a frame was dropped
+    /// — the timers that resend it only fire from the progress loop — so
+    /// collectives call this after their final message before retiring.
+    pub fn quiesce(&self) {
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                if st.failed.is_some() {
+                    return;
+                }
+                self.progress_locked(&mut st);
+                if st.failed.is_some() {
+                    return;
+                }
+            }
+            if self.quiescent() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
     /// Send a control/eager wire message, retrying on back-pressure.
     ///
     /// Real MPI blocks internally in this situation (or dies — see §III-B);
@@ -403,14 +447,12 @@ impl MpiComm {
         data: &[u8],
         ctx: u64,
     ) -> Result<(), MpiError> {
-        // Frame once, outside the retry loop: the sequence number is
-        // allocated here and the same framed bytes are re-offered until the
-        // NIC accepts, so the receiver's dedup gate never sees a gap.
-        let seq = st.wire_seq[dst as usize];
-        st.wire_seq[dst as usize] += 1;
-        let framed = frame::seal(header, seq, data);
+        // The reliable session allocates the sequence number only when the
+        // NIC accepts the injection, so re-offering after back-pressure
+        // (full send window or full injection queue) never leaves a gap at
+        // the receiver's dedup gate.
         loop {
-            match self.inner.ep.try_send(dst, header, &framed, ctx) {
+            match self.inner.rel.send(&self.inner.ep, dst, header, data, ctx) {
                 Ok(()) => return Ok(()),
                 Err(SendError::Backpressure) => {
                     // Drain our own completions while waiting, or we can
@@ -420,6 +462,9 @@ impl MpiComm {
                     std::thread::yield_now();
                 }
                 Err(e) => {
+                    // Including PeerDead: the reliable layer exhausted its
+                    // retransmission budget against dst, so this run can
+                    // never complete — fail fast instead of wedging.
                     let msg = format!("wire send failed: {e}");
                     st.failed = Some(msg.clone());
                     return Err(MpiError::Fatal(msg));
@@ -431,31 +476,43 @@ impl MpiComm {
     /// Drain fabric events into the matching engine. Must hold the lock.
     pub(crate) fn progress_locked(&self, st: &mut State) {
         let inner = &self.inner;
+        // Fire reliable-layer timers (retransmissions, standalone acks) and
+        // surface a dead peer as a fatal communicator failure even when no
+        // send is in flight to report it — barrier loops poll `enter()`.
+        inner.rel.pump(&inner.ep);
+        if st.failed.is_none() {
+            if let Some(h) = inner.rel.dead_peer() {
+                st.failed = Some(format!(
+                    "peer {h} unreachable (retransmission budget exhausted)"
+                ));
+            }
+        }
         while let Some(ev) = inner.ep.poll() {
             match ev {
                 Event::Recv { src, header, data } => {
-                    // Verify the transport frame and admit its sequence
-                    // number before decoding anything — in particular before
-                    // the cookie-carrying RTR below is trusted. Ghost copies
-                    // injected by the fabric's corrupt/truncate faults fail
-                    // the checksum; duplicate ghosts are bit-exact but
-                    // re-use an admitted sequence number.
-                    let wire_seq = match frame::open(header, &data) {
-                        Ok((s, _)) => s,
-                        Err(_) => {
+                    // Run the reliable layer before decoding anything — in
+                    // particular before the cookie-carrying RTR below is
+                    // trusted. Ghost copies injected by the fabric's
+                    // corrupt/truncate faults fail the checksum; duplicates
+                    // (ghosts or retransmissions) re-use an admitted
+                    // sequence number; ack frames carry no payload.
+                    match inner.rel.on_recv(&inner.ep, src, header, &data) {
+                        RelRecv::Data => {}
+                        RelRecv::Duplicate => {
+                            lci_trace::incr(Counter::MpiDuplicateDropped);
+                            continue;
+                        }
+                        RelRecv::Malformed => {
                             lci_trace::incr(Counter::MpiMalformedDropped);
                             continue;
                         }
-                    };
-                    if !st.rx_gate[src as usize].admit(wire_seq) {
-                        lci_trace::incr(Counter::MpiDuplicateDropped);
-                        continue;
+                        RelRecv::Ack => continue,
                     }
                     let (kind, tag, seq) = unpack(header);
                     match kind {
                         KIND_EAGER | KIND_RTS => {
                             let mut raw = data.into_vec();
-                            raw.drain(..frame::FRAME_OVERHEAD);
+                            raw.drain(..REL_DATA_OFFSET);
                             let msg = SeqMsg {
                                 seq,
                                 tag,
@@ -494,7 +551,7 @@ impl MpiComm {
                         }
                         KIND_RTR => {
                             let Some((send_cookie, key, recv_cookie)) =
-                                decode_rtr_envelope(&data[frame::FRAME_OVERHEAD..])
+                                decode_rtr_envelope(&data[REL_DATA_OFFSET..])
                             else {
                                 lci_trace::incr(Counter::MpiMalformedDropped);
                                 continue;

@@ -87,6 +87,14 @@ counters! {
     (FabricFaultCorrupted, "fabric.fault.corrupted", Count),
     (FabricFaultDuplicated, "fabric.fault.duplicated", Count),
     (FabricFaultTruncated, "fabric.fault.truncated", Count),
+    (FabricFaultDropped, "fabric.fault.dropped", Count),
+    (FabricFaultBlackholed, "fabric.fault.blackholed", Count),
+    (FabricFrameWindowOverflow, "fabric.frame.window_overflow", Count),
+    (FabricReliableRetransmits, "fabric.reliable.retransmits", Count),
+    (FabricReliableAcksSent, "fabric.reliable.acks_sent", Count),
+    (FabricReliableAcked, "fabric.reliable.acked", Count),
+    (FabricReliableWindowStalls, "fabric.reliable.window_stalls", Count),
+    (FabricReliablePeerDead, "fabric.reliable.peer_dead", Count),
     // -- lci core: device / pool / backoff --------------------------------
     (LciEgrSent, "lci.egr_sent", Count),
     (LciRdvOpened, "lci.rdv_opened", Count),

@@ -5,13 +5,15 @@
 # the trace crate, and the bench-smoke regression gate. This is the bar
 # every change must clear.
 #
-# Chaos profile: re-run the stress suite across a fixed matrix of fabric
-# seeds. Fault schedules are a pure function of the seed, so each value is
-# a *distinct, reproducible* chaos schedule — a failure under seed S is
-# replayed exactly with `FABRIC_SEED=S cargo test --test stress`. The
-# profile also runs the wire-hardening suite (frame/decoder proptests +
-# corrupt/duplicate/truncate chaos runs) and clippy over the fault-bearing
-# crates (fabric frame/wire, lci protocol, mini-mpi).
+# Chaos profile: re-run the seeded chaos suites across a fixed matrix of
+# fabric seeds. Fault schedules are a pure function of the seed, so each
+# value is a *distinct, reproducible* chaos schedule, and every chaos
+# failure prints the exact `FABRIC_SEED=<s> cargo test --test <suite>`
+# replay line. Legs: the stress suite (timing faults), the loss suite
+# (whole-run Drop{prob_ppm: 50_000} recovery + blackhole peer-death
+# aborts), the wire-hardening suite (frame/decoder proptests +
+# corrupt/duplicate/truncate chaos runs), and clippy over the fault-bearing
+# crates (fabric frame/wire/reliable, lci protocol, mini-mpi).
 #
 # Bench-smoke: a seconds-scale benchmark (tiny deterministic graph, 2
 # simulated hosts) that writes `results/BENCH_smoke.json` and diffs its
@@ -50,13 +52,28 @@ if [[ "${1:-}" == "--tier1" ]]; then
     exit 0
 fi
 
+# One chaos leg: run a suite under a fixed seed; on failure print the exact
+# replay line and stop. Fault schedules are a pure function of the seed.
+chaos_run() {
+    local seed="$1" suite="$2"
+    echo "=== chaos: $suite, FABRIC_SEED=$seed ==="
+    if ! FABRIC_SEED="$seed" cargo test --release -q --test "$suite"; then
+        echo "CHAOS FAILURE: replay with FABRIC_SEED=$seed cargo test --test $suite" >&2
+        exit 1
+    fi
+}
+
 # Seed matrix: arbitrary but fixed, so CI failures name the seed to replay.
 for seed in 1 7 42 1337; do
-    echo "=== chaos: stress suite, FABRIC_SEED=$seed ==="
-    FABRIC_SEED=$seed cargo test --release -q --test stress
+    chaos_run "$seed" stress
 done
-echo "=== chaos: wire hardening (corrupt/duplicate/truncate) ==="
-cargo test --release -q --test wire_hardening
-echo "=== chaos: clippy (fault-bearing crates) ==="
+# Loss leg: 5% whole-run packet loss (Drop{prob_ppm: 50_000}) must recover
+# bit-identically, and a blackholed peer must abort bounded, on every comm
+# layer — each seed is a distinct loss schedule.
+for seed in 1 7 42 1337; do
+    chaos_run "$seed" loss_chaos
+done
+chaos_run 1337 wire_hardening
+echo "=== chaos: clippy (fault-bearing crates, -D warnings) ==="
 cargo clippy --release -p lci-fabric -p lci -p mini-mpi -- -D warnings
 echo "ALL TESTS OK"

@@ -48,11 +48,14 @@ fn run_layer<A: abelian::apps::App>(
     run_app(parts, Arc::new(app), &layers, &EngineConfig::default()).values
 }
 
-/// Build a fault plan from an 8-way selector (`1..8`, so at least one fault
-/// is always active) plus a seed that steers the knobs. Every phase starts
-/// at t=0 and outlives the run: threaded fabrics judge phases against the
-/// wall clock, so a finite window would race the workload when the suite
-/// runs in parallel on a loaded machine.
+/// Build a fault plan from a 16-way selector (`1..16`, so at least one
+/// fault is always active) plus a seed that steers the knobs. Every phase
+/// starts at t=0 and outlives the run: threaded fabrics judge phases
+/// against the wall clock, so a finite window would race the workload when
+/// the suite runs in parallel on a loaded machine. Bit 3 adds genuine
+/// packet loss (1–5%), so the matrix also covers retransmission combined
+/// with reorder (selective-ack pressure) and brownout (retry budget vs
+/// back-pressure).
 fn chaos_plan(selector: u64, knobs: u64) -> FaultPlan {
     const WHOLE_RUN: u64 = u64::MAX / 2;
     let mut plan = FaultPlan::none();
@@ -84,11 +87,20 @@ fn chaos_plan(selector: u64, knobs: u64) -> FaultPlan {
             },
         );
     }
+    if selector & 8 != 0 {
+        plan = plan.with_phase(
+            0,
+            WHOLE_RUN,
+            Fault::Drop {
+                prob_ppm: 10_000 + ((knobs >> 8) % 40_001) as u32,
+            },
+        );
+    }
     plan
 }
 
 fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
-    (1u64..8, any::<u64>()).prop_map(|(sel, knobs)| chaos_plan(sel, knobs))
+    (1u64..16, any::<u64>()).prop_map(|(sel, knobs)| chaos_plan(sel, knobs))
 }
 
 /// [`run_layer`], but with a seeded chaos plan installed on the fabric.
@@ -215,7 +227,7 @@ fn sssp_equivalent_under_every_fault_combination() {
     let parts = partition(&g, 3, Policy::VertexCutCartesian);
     parts.validate(&g);
     let expect = reference::sssp(&g, source);
-    for selector in 1u64..8 {
+    for selector in 1u64..16 {
         let plan = chaos_plan(selector, 0x0003_0002_0000_1000);
         for kind in LayerKind::all() {
             let got = run_layer_chaos(&parts, kind, Sssp { source }, 0xFA11 + selector, &plan);

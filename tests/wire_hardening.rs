@@ -20,7 +20,7 @@
 use abelian::apps::{reference, Bfs, Cc};
 use abelian::{build_layers, run_app, EngineConfig, LayerKind};
 use gemini::{run_gemini, GeminiConfig};
-use lci_fabric::frame::{self, SeqGate, FRAME_OVERHEAD};
+use lci_fabric::frame::{self, FrameError, SeqGate, FRAME_OVERHEAD};
 use lci_fabric::{FabricConfig, Fault, FaultPlan};
 use lci_graph::{gen, partition, Policy};
 use lci_trace::{Counter, CounterSnapshot};
@@ -83,6 +83,38 @@ proptest! {
     }
 
     #[test]
+    fn frame_rejects_trailing_bytes_as_structural(
+        header in any::<u64>(),
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        trailing in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        // Bytes past the declared body length — including after a
+        // declared-empty body — are a length-field mismatch, detected
+        // structurally before the checksum pass.
+        let mut framed = frame::seal(header, seq, &body);
+        framed.extend_from_slice(&trailing);
+        prop_assert_eq!(frame::open(header, &framed), Err(FrameError::BadLength));
+    }
+
+    #[test]
+    fn frame_rejects_exact_prefix_cuts_structurally(
+        header in any::<u64>(),
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let framed = frame::seal(header, seq, &body);
+        // A cut at the pre-hardening 12-byte prefix is below the current
+        // prefix: TooShort. A cut at exactly the full 16-byte prefix leaves
+        // a declared-nonempty body with zero bytes on hand: BadLength.
+        prop_assert_eq!(frame::open(header, &framed[..12]), Err(FrameError::TooShort));
+        prop_assert_eq!(
+            frame::open(header, &framed[..FRAME_OVERHEAD]),
+            Err(FrameError::BadLength)
+        );
+    }
+
+    #[test]
     fn seq_gate_admits_each_seq_exactly_once(
         seqs in proptest::collection::vec(0u64..128, 1..256),
     ) {
@@ -90,6 +122,26 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for &s in &seqs {
             prop_assert_eq!(gate.admit(s), seen.insert(s), "seq {} mis-gated", s);
+        }
+    }
+
+    #[test]
+    fn seq_gate_pending_set_is_bounded_by_window(
+        window in 1u64..32,
+        seqs in proptest::collection::vec(any::<u64>(), 1..256),
+    ) {
+        // However pathological the arrival pattern — forged far-future
+        // numbers included — the above-watermark set never outgrows the
+        // configured window, and beyond-window frames are never admitted.
+        let mut gate = SeqGate::new().with_window(window);
+        for &s in &seqs {
+            let admitted = gate.admit(s);
+            prop_assert!(gate.pending() as u64 <= window);
+            // The watermark only advances, so an admitted seq was within
+            // `window` of it at admission time and still is afterwards.
+            if admitted {
+                prop_assert!(s < gate.watermark() + window);
+            }
         }
     }
 
