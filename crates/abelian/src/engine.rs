@@ -15,6 +15,7 @@
 //! policy of LCI a perfect fit.
 
 use crate::apps::App;
+use crate::checkpoint::{CkptPlan, Snapshot};
 use crate::comm::{channels, ChannelSpec, CommLayer};
 use crate::label::{Label, LabelVec};
 use crate::metrics::{HostMetrics, RoundMetrics};
@@ -140,6 +141,23 @@ pub fn run_app_checked<A: App>(
     layers: &[Arc<dyn CommLayer>],
     cfg: &EngineConfig,
 ) -> Result<RunResult<A::Acc>, String> {
+    run_app_with_ckpt(parts, app, layers, cfg, None)
+}
+
+/// Like [`run_app_checked`], with optional coordinated checkpointing: when
+/// `ckpt` is given, every host snapshots its vertex state into the plan's
+/// [`crate::checkpoint::CheckpointStore`] every `every` rounds (at the round
+/// boundary, after the control barrier — so the saved rounds form globally
+/// consistent cuts), and restores the plan's `resume_from` round before its
+/// first round. This is the primitive the crash-recovery driver
+/// ([`crate::recovery::run_app_recoverable`]) loops over.
+pub fn run_app_with_ckpt<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    layers: &[Arc<dyn CommLayer>],
+    cfg: &EngineConfig,
+    ckpt: Option<&CkptPlan>,
+) -> Result<RunResult<A::Acc>, String> {
     let p = parts.parts.len();
     assert_eq!(layers.len(), p, "one layer per host");
     let do_broadcast = cfg
@@ -158,7 +176,7 @@ pub fn run_app_checked<A: App>(
                 let bspec = bcast_specs[h].clone();
                 let cfg = cfg.clone();
                 scope.spawn(move || {
-                    host_main(part, &*app, &*layer, &cfg, do_broadcast, rspec, bspec)
+                    host_main(part, &*app, &*layer, &cfg, do_broadcast, rspec, bspec, ckpt)
                 })
             })
             .collect();
@@ -228,6 +246,7 @@ fn host_main<A: App>(
     do_broadcast: bool,
     reduce_spec: ChannelSpec,
     bcast_spec: ChannelSpec,
+    ckpt: Option<&CkptPlan>,
 ) -> Result<HostResult<A::Acc>, String> {
     let p = part.num_hosts;
     let me = part.host;
@@ -256,6 +275,54 @@ fn host_main<A: App>(
         }
     }
 
+    // ---- checkpoint restore ----------------------------------------------
+    // Roll the freshly initialized state forward to the requested round
+    // boundary before any communication happens. Every host restores the
+    // same round (the recovery driver picked a common one), so the restored
+    // cut is exactly the state of a crash-free run at that boundary.
+    let mut round = 0usize;
+    if let Some(plan) = ckpt {
+        if let Some(r0) = plan.resume_from {
+            let snap = plan
+                .store
+                .load(me, r0)
+                .map_err(|e| format!("host {me}: checkpoint restore of round {r0}: {e}"))?;
+            let [lab, cons, chg] = snap.sections.as_slice() else {
+                return Err(format!(
+                    "host {me}: checkpoint of round {r0} has {} sections, want 3",
+                    snap.sections.len()
+                ));
+            };
+            if !labels.restore_bits(lab) {
+                return Err(format!("host {me}: checkpoint label section size mismatch"));
+            }
+            match &consumed {
+                Some(c) => {
+                    if !c.restore_bits(cons) {
+                        return Err(format!(
+                            "host {me}: checkpoint consumed section size mismatch"
+                        ));
+                    }
+                }
+                None => {
+                    if !cons.is_empty() {
+                        return Err(format!(
+                            "host {me}: checkpoint has consumed section but app has none"
+                        ));
+                    }
+                }
+            }
+            if chg.len() != nl {
+                return Err(format!("host {me}: checkpoint changed section size mismatch"));
+            }
+            for (flag, &b) in changed.iter().zip(chg.iter()) {
+                flag.store(b != 0, Ordering::Relaxed);
+            }
+            round = snap.round as usize;
+            lci_trace::incr(Counter::EngineCkptRestores);
+        }
+    }
+
     // ---- channels (collective, uniform order) ----------------------------
     layer.register_channel(channels::REDUCE, reduce_spec);
     if do_broadcast {
@@ -278,7 +345,6 @@ fn host_main<A: App>(
     };
 
     let mut metrics = HostMetrics::default();
-    let mut round = 0usize;
 
     loop {
         let round_start = Instant::now();
@@ -498,7 +564,30 @@ fn host_main<A: App>(
             sent_bytes,
         });
         round += 1;
-        if total == 0 || round >= max_rounds {
+        let done = total == 0 || round >= max_rounds;
+
+        // ---- coordinated checkpoint save ---------------------------------
+        // The control barrier above already synchronized every host at this
+        // round boundary, so saving here (same `round`, same `every` on all
+        // hosts) yields a globally consistent cut without extra messages.
+        // A finished run never saves: there is nothing left to recover to.
+        if let Some(plan) = ckpt {
+            if !done && plan.every > 0 && (round as u64) % plan.every == 0 {
+                let chg: Vec<u8> =
+                    changed.iter().map(|f| f.load(Ordering::Acquire) as u8).collect();
+                let snap = Snapshot {
+                    round: round as u64,
+                    sections: vec![
+                        labels.save_bits(),
+                        consumed.as_ref().map(|c| c.save_bits()).unwrap_or_default(),
+                        chg,
+                    ],
+                };
+                plan.store.save(me, &snap);
+            }
+        }
+
+        if done {
             break;
         }
     }

@@ -100,6 +100,33 @@ impl LabelVec {
         L::from_bits(self.slots[i].swap(v.to_bits(), Ordering::AcqRel))
     }
 
+    /// Serialize every slot's raw bits, 8 little-endian bytes per slot.
+    /// Checkpointing uses the bit representation (not the wire encoding)
+    /// so a restored vector is bit-identical regardless of label type.
+    pub fn save_bits(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.slots.len() * 8);
+        for s in &self.slots {
+            out.extend_from_slice(&s.load(Ordering::Acquire).to_le_bytes());
+        }
+        out
+    }
+
+    /// Overwrite every slot from [`LabelVec::save_bits`] output. Returns
+    /// `false` (without touching any slot) when the byte length does not
+    /// match this vector's slot count.
+    pub fn restore_bits(&self, bytes: &[u8]) -> bool {
+        if bytes.len() != self.slots.len() * 8 {
+            return false;
+        }
+        for (s, chunk) in self.slots.iter().zip(bytes.chunks_exact(8)) {
+            s.store(
+                u64::from_le_bytes(chunk.try_into().expect("chunks_exact")),
+                Ordering::Release,
+            );
+        }
+        true
+    }
+
     /// Atomically apply `reduce(cur, v)`; returns `true` if the stored value
     /// changed. `reduce` must be idempotent-safe under retries (pure).
     pub fn reduce_with<L: Label>(

@@ -15,15 +15,21 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod checkpoint;
 pub mod comm;
 pub mod engine;
 pub mod label;
 pub mod layers;
 pub mod membook;
 pub mod metrics;
+pub mod recovery;
 
+pub use checkpoint::{CheckpointStore, CkptPlan, Snapshot};
 pub use comm::{ChannelSpec, CommLayer, Degradation};
-pub use engine::{run_app, run_app_checked, EngineConfig, HostResult, RunResult};
+pub use engine::{
+    run_app, run_app_checked, run_app_with_ckpt, EngineConfig, HostResult, RunResult,
+};
+pub use recovery::{run_app_recoverable, RecoveryConfig, RecoveryWorld};
 pub use label::{Label, LabelVec};
 pub use layers::{build_layers, LayerKind, LayerWorld};
 pub use membook::MemBook;

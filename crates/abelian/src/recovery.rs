@@ -1,0 +1,198 @@
+//! Crash-stop recovery: detect, roll back, respawn, resume.
+//!
+//! The protocol (DESIGN.md "crash-stop threat model & recovery protocol"):
+//!
+//! 1. **Detect.** A crashed host's wire presence vanishes; survivors'
+//!    retransmission budgets exhaust against the silence and every host's
+//!    run aborts bounded with an error (the PR-4 guarantee, unchanged).
+//! 2. **Probe.** Each survivor seals one empty frame per peer under the
+//!    dying incarnation's epoch, so the discarded incarnation leaves
+//!    deterministic `fabric.epoch.stale_dropped` evidence behind.
+//! 3. **Respawn.** [`Fabric::respawn`] restores the crashed host under a
+//!    bumped incarnation epoch; its registered memory regions are gone
+//!    (a real process restart invalidates every pinned RDMA region).
+//! 4. **Rejoin.** Every host — survivors included — resets its transport
+//!    state: sequence spaces, send windows, dedup gates, queued protocol
+//!    state of the dead incarnation. Straggler frames of the old epoch are
+//!    dropped by the reliable layer's epoch gate wherever they surface.
+//! 5. **Resume.** The run restarts from the newest checkpoint present on
+//!    *every* host ([`CheckpointStore::latest_common`]); the engines'
+//!    confluent reductions make the re-executed fixpoint bit-identical to
+//!    a crash-free run.
+//!
+//! [`RecoveryWorld`] owns the long-lived transport (fabric + devices or
+//! communicators) across attempts and mints fresh [`CommLayer`]s per
+//! attempt; [`run_app_recoverable`] is the abelian-engine driver loop.
+
+use crate::checkpoint::{CheckpointStore, CkptPlan};
+use crate::comm::CommLayer;
+use crate::engine::{run_app_with_ckpt, EngineConfig, RunResult};
+use crate::layers::{LayerKind, LayerWorld, LciLayer, MpiProbeLayer, MpiRmaLayer};
+use crate::apps::App;
+use lci_fabric::{Fabric, FabricConfig};
+use mini_mpi::MpiConfig;
+use std::sync::Arc;
+
+/// Recovery policy knobs.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Checkpoint every `ckpt_every` rounds (0 disables saves — a crash is
+    /// then recovered by full re-execution from the initial state).
+    pub ckpt_every: u64,
+    /// Give up after this many run attempts (first attempt included).
+    pub max_attempts: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            ckpt_every: 4,
+            max_attempts: 4,
+        }
+    }
+}
+
+/// The long-lived half of a recoverable run: fabric plus per-host transport
+/// endpoints that survive across attempts, able to mint fresh communication
+/// layers after each [`RecoveryWorld::recover`].
+pub struct RecoveryWorld {
+    kind: LayerKind,
+    world: LayerWorld,
+    mpi_cfg: MpiConfig,
+}
+
+impl RecoveryWorld {
+    /// Build the world for `kind` over a fresh threaded fabric.
+    pub fn new(
+        kind: LayerKind,
+        fabric_cfg: FabricConfig,
+        mpi_cfg: MpiConfig,
+        lci_cfg: lci::LciConfig,
+    ) -> RecoveryWorld {
+        let world = match kind {
+            LayerKind::Lci => {
+                LayerWorld::Lci(lci::LciWorld::without_servers(fabric_cfg, lci_cfg))
+            }
+            LayerKind::MpiProbe | LayerKind::MpiRma => {
+                LayerWorld::Mpi(mini_mpi::MpiWorld::new(fabric_cfg, mpi_cfg.clone()))
+            }
+        };
+        RecoveryWorld {
+            kind,
+            world,
+            mpi_cfg,
+        }
+    }
+
+    /// The underlying fabric (fault plans, crash inspection, counters).
+    pub fn fabric(&self) -> &Fabric {
+        match &self.world {
+            LayerWorld::Lci(w) => w.fabric(),
+            LayerWorld::Mpi(w) => w.fabric(),
+        }
+    }
+
+    /// Mint fresh communication layers (rank order) for one run attempt.
+    ///
+    /// Layer-level state — channel registrations, per-channel round
+    /// counters — must start from zero on every attempt so that all hosts
+    /// tag their frames identically after a rollback; the transport
+    /// underneath persists.
+    pub fn layers(&self) -> Vec<Arc<dyn CommLayer>> {
+        match (&self.kind, &self.world) {
+            (LayerKind::Lci, LayerWorld::Lci(w)) => (0..w.num_hosts())
+                .map(|h| Arc::new(LciLayer::new(w.device(h))) as Arc<dyn CommLayer>)
+                .collect(),
+            (LayerKind::MpiProbe, LayerWorld::Mpi(w)) => (0..w.num_hosts())
+                .map(|h| Arc::new(MpiProbeLayer::new(w.comm(h))) as Arc<dyn CommLayer>)
+                .collect(),
+            (LayerKind::MpiRma, LayerWorld::Mpi(w)) => (0..w.num_hosts())
+                .map(|h| Arc::new(MpiRmaLayer::new(w.comm(h))) as Arc<dyn CommLayer>)
+                .collect(),
+            _ => unreachable!("world kind fixed at construction"),
+        }
+    }
+
+    /// Steps 2–4 of the recovery protocol: probe the dying epoch, respawn
+    /// every crashed host, and rejoin all transport endpoints under the new
+    /// incarnation. Call after an attempt aborted with crashes present.
+    pub fn recover(&mut self) {
+        let crashed = self.fabric().crashed_hosts();
+        // Probe first, under the old epoch: one empty frame from each
+        // survivor to each peer. Probes toward the crashed host are eaten
+        // at the wire; survivor→survivor probes surface post-respawn as
+        // stale-epoch drops — deterministic evidence the old incarnation
+        // was discarded rather than replayed.
+        match &self.world {
+            LayerWorld::Lci(w) => {
+                for h in 0..w.num_hosts() {
+                    if !crashed.contains(&(h as u16)) {
+                        w.device(h).flush_epoch_probe();
+                    }
+                }
+            }
+            LayerWorld::Mpi(w) => {
+                for h in 0..w.num_hosts() {
+                    if !crashed.contains(&(h as u16)) {
+                        w.comm(h).flush_epoch_probe();
+                    }
+                }
+            }
+        }
+        for &h in &crashed {
+            self.fabric().respawn(h);
+        }
+        match &mut self.world {
+            LayerWorld::Lci(w) => {
+                for h in 0..w.num_hosts() {
+                    w.device(h).rejoin();
+                }
+            }
+            LayerWorld::Mpi(w) => w.rejoin(self.mpi_cfg.clone()),
+        }
+    }
+}
+
+/// Run an abelian app with crash recovery: on an abort with crashed hosts
+/// present, recover the world, roll every host back to the newest common
+/// checkpoint, and re-run — up to `rec.max_attempts` attempts. An abort
+/// with *no* crashed host (a genuine transport failure) is returned as-is:
+/// recovery never masks errors it cannot explain.
+///
+/// The caller owns `store` so it can inspect saved rounds afterwards; pass
+/// a fresh [`CheckpointStore::new`] sized to the partition count.
+pub fn run_app_recoverable<A: App>(
+    parts: &lci_graph::Partitioning,
+    app: Arc<A>,
+    rw: &mut RecoveryWorld,
+    cfg: &EngineConfig,
+    rec: &RecoveryConfig,
+    store: &Arc<CheckpointStore>,
+) -> Result<RunResult<A::Acc>, String> {
+    let mut resume_from = None;
+    let mut last_err = String::new();
+    for _attempt in 0..rec.max_attempts.max(1) {
+        let layers = rw.layers();
+        let plan = CkptPlan {
+            store: Arc::clone(store),
+            every: rec.ckpt_every,
+            resume_from,
+        };
+        match run_app_with_ckpt(parts, Arc::clone(&app), &layers, cfg, Some(&plan)) {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                if rw.fabric().crashed_hosts().is_empty() {
+                    // Not a crash: the bounded-abort contract of plain runs.
+                    return Err(e);
+                }
+                last_err = e;
+                rw.recover();
+                resume_from = store.latest_common();
+            }
+        }
+    }
+    Err(format!(
+        "recovery abandoned after {} attempts; last error: {last_err}",
+        rec.max_attempts.max(1)
+    ))
+}

@@ -313,6 +313,90 @@ impl Device {
         self.inner.pool.outstanding()
     }
 
+    /// Reset this device for a new fabric incarnation, after the fabric's
+    /// [`respawn`](lci_fabric::Fabric::respawn) of a crashed host (every
+    /// host rejoins, survivors included — the reliable layer's sequence
+    /// spaces restart fabric-wide).
+    ///
+    /// The completion queue is drained once: `SendDone`/`PutDone`/`Error`
+    /// cookies are consumed so pooled packets return to the pool (lease
+    /// continuity across the crash), parked `PutArrived` receiver cookies
+    /// are reclaimed as errors, and queued `Recv` payloads are dropped
+    /// (their buffers return the fabric rx credits on drop). All queued
+    /// protocol state of the dead incarnation — first-packets, deferred
+    /// RTS, pending puts and fragment streams — is discarded: the engine
+    /// re-executes every round past its last checkpoint, regenerating the
+    /// traffic. Sender-side rendezvous cookies parked inside discarded RTS
+    /// payloads leak their `Arc` by design (the bytes are opaque here); a
+    /// crash leaks at most one small allocation per abandoned rendezvous.
+    ///
+    /// Seal one empty reliable frame to every peer under the *current*
+    /// fabric epoch. The recovery driver calls this on each surviving
+    /// device immediately before [`respawn`](lci_fabric::Fabric::respawn)
+    /// bumps the epoch: the probes land after the bump, get classified
+    /// stale by the receivers' epoch gates, and make the
+    /// `fabric.epoch.stale_dropped` evidence of the discarded incarnation
+    /// deterministic (a quiesced survivor may otherwise have nothing left
+    /// in flight). Errors are ignored — a probe that cannot be sent (dead
+    /// peer, full window) proves the same point by its absence.
+    pub fn flush_epoch_probe(&self) {
+        let inner = &self.inner;
+        let me = inner.ep.host();
+        for dst in 0..inner.ep.num_hosts() as u16 {
+            if dst != me {
+                let _ = inner.rel.send(&inner.ep, dst, 0, &[], 0);
+            }
+        }
+    }
+
+    /// The failed flag is cleared last: a device that observed `PeerDead`
+    /// or its own endpoint failure becomes usable again.
+    pub fn rejoin(&self) {
+        let inner = &self.inner;
+        let _guard = inner.progress_lock.lock();
+        while let Some(ev) = inner.ep.poll() {
+            match ev {
+                Event::SendDone { ctx }
+                | Event::PutDone { ctx, .. }
+                | Event::Error { ctx, .. } => {
+                    if ctx != 0 {
+                        // SAFETY: unique completion of a cookie this device
+                        // created; consumed exactly once here.
+                        match unsafe { take_completion(ctx) } {
+                            Completion::FreePacket(p) => inner.pool.free(p),
+                            Completion::PutSent(req) => req.mark_error(),
+                        }
+                    }
+                }
+                Event::PutArrived { imm, .. } => {
+                    // SAFETY: the fabric emits at most one PutArrived per
+                    // put, so this parked receiver cookie is unconsumed.
+                    let req = unsafe { take_req(imm) };
+                    req.mark_error();
+                }
+                Event::Recv { src, header, data } => {
+                    // Classify stragglers instead of silently dropping them:
+                    // the fabric epoch was already bumped, so frames of the
+                    // dead incarnation count under fabric.epoch.stale_dropped
+                    // here exactly as they would in the progress loop. Any
+                    // session state a (theoretical) fresh-epoch frame leaves
+                    // behind is wiped by the rel.rejoin() below.
+                    let _ = inner.rel.on_recv(&inner.ep, src, header, &data);
+                }
+            }
+        }
+        while inner.rxq.try_pop().is_some() {}
+        inner.deferred_rts.lock().clear();
+        for p in inner.pending_puts.lock().drain(..) {
+            p.send_req.mark_error();
+        }
+        for f in inner.pending_frags.lock().drain(..) {
+            f.send_req.mark_error();
+        }
+        inner.rel.rejoin();
+        inner.failed.store(false, Ordering::Release);
+    }
+
     /// Inject a packet whose first `len` bytes are the protocol body,
     /// handing ownership to a `FreePacket` completion on success and
     /// returning the packet to the pool on failure.
@@ -588,6 +672,12 @@ impl Device {
             // collective cannot complete, so the whole device fails.
             inner.failed.store(true, Ordering::Release);
         }
+        if inner.ep.is_failed() {
+            // The fabric endpoint itself died (e.g. this host's crash-stop
+            // fault fired): surface it so the host's own threads abort
+            // promptly instead of spinning against a dead NIC.
+            inner.failed.store(true, Ordering::Release);
+        }
 
         // Retry puts deferred by back-pressure.
         {
@@ -611,9 +701,12 @@ impl Device {
             handled += 1;
             match ev {
                 Event::Recv { src, header, data } => self.on_recv(src, header, data),
-                Event::SendDone { ctx } | Event::PutDone { ctx } => {
+                Event::SendDone { ctx } | Event::PutDone { ctx, .. } => {
                     // Retransmissions and standalone acks complete with a
                     // zero context: only first transmissions carry a cookie.
+                    // PutDone is consumed regardless of its epoch — the
+                    // cookie's Box must be reclaimed exactly once whether or
+                    // not the put's memory write was suppressed.
                     if ctx != 0 {
                         // SAFETY: ctx was created by completion_cookie for
                         // this operation and this is its unique completion
@@ -624,10 +717,21 @@ impl Device {
                         }
                     }
                 }
-                Event::PutArrived { imm, .. } => {
+                Event::PutArrived { imm, epoch, .. } => {
                     // SAFETY: imm is the receiver cookie from our RTR,
-                    // echoed exactly once by the peer's put.
+                    // echoed exactly once by the peer's put. The fabric
+                    // emits at most one PutArrived per put (and none for
+                    // stale-epoch puts), so the cookie is unconsumed here.
                     let req = unsafe { take_req(imm) };
+                    if epoch != inner.ep.fabric_epoch() {
+                        // Straggler queued before a respawn but consumed
+                        // after this device rejoined: the request belongs to
+                        // the dead incarnation. Reclaim the parked reference
+                        // without completing it.
+                        lci_trace::incr(Counter::FabricEpochStaleDropped);
+                        req.mark_error();
+                        continue;
+                    }
                     let mut st = req.state.lock();
                     if let ReqState::RecvMr(mr) =
                         std::mem::replace(&mut *st, ReqState::Empty)
@@ -677,6 +781,10 @@ impl Device {
                 return;
             }
             RelRecv::Ack => return,
+            // A frame sealed under a dead fabric incarnation (already
+            // counted by the reliable layer). Its cookies, if any, belong
+            // to state torn down at the rejoin: never decode them.
+            RelRecv::Stale => return,
         }
         let Some((ty, tag, size)) = protocol::unpack(header) else {
             lci_trace::incr(Counter::LciMalformedDropped);

@@ -135,6 +135,24 @@ pub enum Fault {
         /// The rank cut off from the fabric.
         peer: HostId,
     },
+    /// Crash-stop failure: once the wire has moved `after_packets`
+    /// deliveries involving `host` (as sender or receiver), the host dies —
+    /// its endpoint is failed (so its own threads abort) and every
+    /// subsequent delivery to or from it vanishes like a blackhole, puts
+    /// included. Unlike [`Fault::Blackhole`] the condition is permanent
+    /// until [`crate::Fabric::respawn`] brings the host back under a new
+    /// incarnation epoch. The trigger is a *packet count*, not a phase
+    /// window (the window of the enclosing [`FaultPhase`] is ignored), so
+    /// the crash point is schedule-deterministic in both fabric modes and
+    /// replays exactly from `FABRIC_SEED`. One crash fires per host per
+    /// plan; a respawn does not re-arm it.
+    Crash {
+        /// The rank that dies.
+        host: HostId,
+        /// How many wire deliveries involving the host complete before it
+        /// dies.
+        after_packets: u64,
+    },
 }
 
 /// A [`Fault`] active during `[start_ns, start_ns + duration_ns)` of
@@ -231,6 +249,11 @@ impl FaultPlan {
                         "phase {i}: blackhole peer {peer} out of range (num_hosts={num_hosts})"
                     ));
                 }
+                Fault::Crash { host, .. } if host as usize >= num_hosts => {
+                    return Err(format!(
+                        "phase {i}: crash host {host} out of range (num_hosts={num_hosts})"
+                    ));
+                }
                 _ => {}
             }
         }
@@ -312,6 +335,16 @@ impl FaultPlan {
         })
     }
 
+    /// Packet-count crash trigger for `host`, if the plan schedules one.
+    /// Crash triggers ignore the phase window (see [`Fault::Crash`]);
+    /// overlapping crash phases for one host take the first match.
+    pub fn crash_for(&self, host: HostId) -> Option<u64> {
+        self.phases.iter().find_map(|p| match p.fault {
+            Fault::Crash { host: h, after_packets } if h == host => Some(after_packets),
+            _ => None,
+        })
+    }
+
     /// Exclusive end of the last phase (0 for an empty plan).
     pub fn horizon_ns(&self) -> u64 {
         self.phases.iter().map(|p| p.end_ns()).max().unwrap_or(0)
@@ -356,8 +389,8 @@ impl FaultPlan {
             Fault::Duplicate,
             Fault::Truncate,
             // Mild loss (1–5%): survivable by the reliable sublayer, unlike
-            // a blackhole, which is deliberately excluded — chaos plans must
-            // leave runs completable.
+            // a blackhole or crash, which are deliberately excluded — chaos
+            // plans must leave runs completable without recovery machinery.
             Fault::Drop {
                 prob_ppm: 10_000 + (next() % 40_000) as u32,
             },
@@ -399,6 +432,11 @@ pub struct ReliableConfig {
     /// the clock has not reached the deadline — keeps windows draining on
     /// a frozen virtual clock.
     pub ack_every: u32,
+    /// Receive-side exactly-once gate: how many sequence numbers above the
+    /// in-order watermark a [`crate::frame::SeqGate`] tracks before old
+    /// pending entries are evicted (counted as
+    /// `fabric.frame.window_overflow`). Bounds gate memory per source.
+    pub gate_window: u64,
 }
 
 impl Default for ReliableConfig {
@@ -411,7 +449,36 @@ impl Default for ReliableConfig {
             retry_budget: 12,
             ack_delay_ns: 100_000,
             ack_every: 8,
+            gate_window: crate::frame::DEFAULT_GATE_WINDOW,
         }
+    }
+}
+
+impl ReliableConfig {
+    /// Builder-style override of the per-destination send window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builder-style override of the retransmission-timeout band
+    /// (base, cap).
+    pub fn with_rto(mut self, base_ns: u64, cap_ns: u64) -> Self {
+        self.rto_base_ns = base_ns;
+        self.rto_cap_ns = cap_ns;
+        self
+    }
+
+    /// Builder-style override of the retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Builder-style override of the receive-gate window.
+    pub fn with_gate_window(mut self, window: u64) -> Self {
+        self.gate_window = window;
+        self
     }
 }
 
@@ -710,6 +777,37 @@ mod tests {
         }
         assert!(total < 100_000_000, "death bound {total} ns too lax");
         assert!(r.window >= 1 && r.ack_every >= 1);
+        assert_eq!(r.gate_window, crate::frame::DEFAULT_GATE_WINDOW);
+    }
+
+    #[test]
+    fn reliable_config_builders() {
+        let r = ReliableConfig::default()
+            .with_window(4)
+            .with_rto(10_000, 80_000)
+            .with_retry_budget(5)
+            .with_gate_window(64);
+        assert_eq!(r.window, 4);
+        assert_eq!(r.rto_base_ns, 10_000);
+        assert_eq!(r.rto_cap_ns, 80_000);
+        assert_eq!(r.retry_budget, 5);
+        assert_eq!(r.gate_window, 64);
+    }
+
+    #[test]
+    fn crash_fault_queries_and_validation() {
+        let plan = FaultPlan::none()
+            .with_phase(0, u64::MAX / 2, Fault::Crash { host: 1, after_packets: 40 })
+            .with_phase(0, 10, Fault::Crash { host: 1, after_packets: 99 });
+        // First match wins; the phase window is irrelevant to the trigger.
+        assert_eq!(plan.crash_for(1), Some(40));
+        assert_eq!(plan.crash_for(0), None);
+        assert!(plan.validate(2).is_ok());
+        let bad = FaultPlan::none().with_phase(0, 10, Fault::Crash { host: 2, after_packets: 1 });
+        assert!(bad.validate(2).is_err());
+        // Chaos plans must stay completable: never a crash.
+        let chaos = FaultPlan::chaos(7, 4, 1_000_000);
+        assert!(!chaos.phases.iter().any(|p| matches!(p.fault, Fault::Crash { .. })));
     }
 
     #[test]

@@ -40,10 +40,17 @@ pub enum Event {
         /// The user context supplied at injection.
         ctx: u64,
     },
-    /// A previously injected `try_put` has been written to the target region.
+    /// A previously injected `try_put` has left the NIC. The write landed
+    /// only if the put's epoch was still current at delivery; a stale put
+    /// (injected before a [`crate::Fabric::respawn`]) completes without
+    /// writing.
     PutDone {
         /// The user context supplied at injection.
         ctx: u64,
+        /// Recovery epoch the put was injected under. Consumers resuming
+        /// after a respawn drop completions whose epoch predates
+        /// [`Endpoint::fabric_epoch`].
+        epoch: u32,
     },
     /// A peer's put into one of our regions completed with an immediate value.
     PutArrived {
@@ -53,6 +60,10 @@ pub enum Event {
         imm: u64,
         /// Number of bytes written.
         len: u32,
+        /// Recovery epoch the put was injected under. An event queued before
+        /// a crash but consumed after the respawn is from a dead incarnation;
+        /// consumers compare against [`Endpoint::fabric_epoch`] and discard.
+        epoch: u32,
     },
     /// A fatal error attributed to an operation this endpoint injected.
     Error {
@@ -284,6 +295,7 @@ impl Endpoint {
             data: data.to_vec(),
             ctx,
             imm,
+            epoch: self.fabric_epoch(),
         };
         if self.fabric.inj_tx.send(op).is_err() {
             self.release_token();
@@ -333,6 +345,14 @@ impl Endpoint {
     /// Currently available receive-buffer credits.
     pub fn rx_credits(&self) -> i64 {
         self.shared.rx_credits.load(Ordering::Relaxed)
+    }
+
+    /// The fabric's current incarnation epoch (see
+    /// [`crate::Fabric::respawn`]). Stamped into every frame and put at
+    /// injection; transports compare it at admission to discard stragglers
+    /// from dead incarnations.
+    pub fn fabric_epoch(&self) -> u32 {
+        self.fabric.recovery_epoch.load(Ordering::Acquire)
     }
 
     /// Current simulated time in nanoseconds: wall-clock since fabric

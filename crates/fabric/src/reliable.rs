@@ -8,10 +8,18 @@
 //! that *retransmits* recovers the payload. [`ReliableSession`] is that
 //! layer, shared by `lci::Device` and `mini-mpi`:
 //!
-//! * every data frame carries a 13-byte header inside the
-//!   [`frame`](crate::frame) body — `[ack: u64 LE][sack: u32 LE][flags: u8]`
-//!   — piggybacking the receiver state of the destination on reverse
-//!   traffic;
+//! * every data frame carries a 17-byte header inside the
+//!   [`frame`](crate::frame) body —
+//!   `[ack: u64 LE][sack: u32 LE][epoch: u32 LE][flags: u8]` —
+//!   piggybacking the receiver state of the destination on reverse
+//!   traffic and stamping the fabric incarnation epoch the frame was
+//!   sealed under;
+//! * a frame whose epoch predates the fabric's current one is a straggler
+//!   from a dead incarnation (sealed before a [`crate::Fabric::respawn`]):
+//!   it is dropped *before* ack harvesting or gate admission — post-rejoin
+//!   sequence numbers restart at zero, so a stale cumulative ack or seq
+//!   would otherwise corrupt the fresh window ([`RelRecv::Stale`], counted
+//!   as `fabric.epoch.stale_dropped`);
 //! * a bounded per-destination send window holds sealed unacked frames;
 //!   a full window surfaces [`SendError::Backpressure`] (bounded buffering,
 //!   the same retryable condition as NIC back-pressure);
@@ -27,7 +35,12 @@
 //! * unacked frames retransmit on a seeded exponential-backoff timer with
 //!   jitter; exhausting [`ReliableConfig::retry_budget`] declares the
 //!   destination dead and surfaces [`SendError::PeerDead`], which runtimes
-//!   convert into a clean bounded-time abort instead of a wedged barrier.
+//!   convert into a clean bounded-time abort instead of a wedged barrier;
+//! * the *initial* timeout of each frame adapts to the observed ack
+//!   round-trip (RFC 6298-shaped EWMA, Karn's rule: only never-retransmitted
+//!   frames are sampled), clamped to
+//!   `[rto_base_ns, rto_cap_ns]`; the current estimate is exported as the
+//!   `fabric.reliable.rto_us` gauge.
 //!
 //! RDMA puts bypass this module entirely: they are hardware-reliable in the
 //! fabric model, exactly as the paper's transports assume.
@@ -46,8 +59,8 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 
 /// Bytes of reliable-layer header inside every framed body:
-/// `[ack: u64][sack: u32][flags: u8]`.
-pub const REL_OVERHEAD: usize = 13;
+/// `[ack: u64][sack: u32][epoch: u32][flags: u8]`.
+pub const REL_OVERHEAD: usize = 17;
 
 /// Offset of the application body inside a delivered fabric payload:
 /// frame prefix + reliable header. Consumers slice
@@ -79,6 +92,10 @@ pub enum RelRecv {
     Malformed,
     /// A standalone ack frame — pure control traffic, nothing to consume.
     Ack,
+    /// A straggler from a dead incarnation: the frame was sealed under an
+    /// earlier fabric epoch than the current one. Dropped without touching
+    /// ack or gate state (both restarted at the rejoin).
+    Stale,
 }
 
 struct Unacked {
@@ -86,17 +103,51 @@ struct Unacked {
     header: u64,
     /// The sealed frame, byte-for-byte as first transmitted (retransmits
     /// must be bit-identical so the receiver's gate and checksum treat
-    /// them as the same frame).
+    /// them as the same frame — including its epoch stamp).
     frame: Vec<u8>,
     retries: u32,
     rto_at: u64,
     rto_ns: u64,
+    /// First-transmission time, for RTT sampling (Karn's rule: a frame
+    /// that was ever retransmitted is never sampled — its ack is
+    /// ambiguous).
+    sent_at: u64,
 }
 
 struct PeerTx {
     next_seq: u64,
     window: VecDeque<Unacked>,
     dead: bool,
+    /// Smoothed ack round-trip (EWMA, gain 1/8). Zero until the first
+    /// sample.
+    srtt_ns: u64,
+    /// Round-trip variation (EWMA, gain 1/4).
+    rttvar_ns: u64,
+    has_rtt: bool,
+}
+
+impl PeerTx {
+    /// Feed one unambiguous RTT sample into the estimator (RFC 6298 shape).
+    fn observe_rtt(&mut self, rtt_ns: u64) {
+        if self.has_rtt {
+            self.rttvar_ns = (3 * self.rttvar_ns + self.srtt_ns.abs_diff(rtt_ns)) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + rtt_ns) / 8;
+        } else {
+            self.srtt_ns = rtt_ns;
+            self.rttvar_ns = rtt_ns / 2;
+            self.has_rtt = true;
+        }
+    }
+
+    /// Initial timeout for a fresh frame: `srtt + 4·rttvar` clamped to the
+    /// configured band, or the configured base before any sample exists.
+    fn initial_rto(&self, cfg: &ReliableConfig) -> u64 {
+        if self.has_rtt {
+            (self.srtt_ns + 4 * self.rttvar_ns).clamp(cfg.rto_base_ns, cfg.rto_cap_ns)
+        } else {
+            cfg.rto_base_ns
+        }
+    }
 }
 
 struct PeerRx {
@@ -145,28 +196,49 @@ impl ReliableSession {
         let mut seed = ep.config().seed ^ 0xAC4E ^ ((ep.host() as u64) << 32);
         // Scramble once so nearby host ids do not produce nearby streams.
         splitmix64(&mut seed);
+        assert!(cfg.gate_window >= 1, "gate_window must be >= 1");
         ReliableSession {
-            cfg,
             peers: (0..ep.num_hosts())
-                .map(|_| {
-                    Mutex::new(PeerState {
-                        tx: PeerTx {
-                            next_seq: 0,
-                            window: VecDeque::new(),
-                            dead: false,
-                        },
-                        rx: PeerRx {
-                            gate: frame::SeqGate::new(),
-                            ack_owed: false,
-                            ack_deadline: 0,
-                            owed_count: 0,
-                        },
-                    })
-                })
+                .map(|_| Mutex::new(Self::fresh_peer(&cfg)))
                 .collect(),
+            cfg,
             rng: Mutex::new(seed),
             dead: Mutex::new(None),
         }
+    }
+
+    fn fresh_peer(cfg: &ReliableConfig) -> PeerState {
+        PeerState {
+            tx: PeerTx {
+                next_seq: 0,
+                window: VecDeque::new(),
+                dead: false,
+                srtt_ns: 0,
+                rttvar_ns: 0,
+                has_rtt: false,
+            },
+            rx: PeerRx {
+                gate: frame::SeqGate::new().with_window(cfg.gate_window),
+                ack_owed: false,
+                ack_deadline: 0,
+                owed_count: 0,
+            },
+        }
+    }
+
+    /// Reset the session for a new fabric incarnation (after a
+    /// [`crate::Fabric::respawn`]): every peer's send window, sequence
+    /// counter, receive gate, ack debt, RTT estimator, and dead flag start
+    /// over. Old in-flight frames are not re-driven — they carry the dead
+    /// incarnation's epoch and will be dropped as [`RelRecv::Stale`] wherever
+    /// they land. Called on *every* host during recovery, survivors
+    /// included: both sides of every reliable link must restart their
+    /// sequence spaces together.
+    pub fn rejoin(&self) {
+        for peer in &self.peers {
+            *peer.lock() = Self::fresh_peer(&self.cfg);
+        }
+        *self.dead.lock() = None;
     }
 
     fn jitter_ns(&self) -> u64 {
@@ -207,13 +279,14 @@ impl ReliableSession {
         let mut rel = Vec::with_capacity(REL_OVERHEAD + body.len());
         rel.extend_from_slice(&p.rx.gate.watermark().to_le_bytes());
         rel.extend_from_slice(&p.rx.gate.mask_above().to_le_bytes());
+        rel.extend_from_slice(&ep.fabric_epoch().to_le_bytes());
         rel.push(FLAG_DATA);
         rel.extend_from_slice(body);
         let framed = frame::seal(header, seq, &rel);
         ep.try_send(dst, header, &framed, ctx)?;
         p.tx.next_seq += 1;
         let now = ep.now_ns();
-        let rto = self.cfg.rto_base_ns;
+        let rto = p.tx.initial_rto(&self.cfg);
         p.tx.window.push_back(Unacked {
             seq,
             header,
@@ -221,6 +294,7 @@ impl ReliableSession {
             retries: 0,
             rto_at: now + rto + self.jitter_ns(),
             rto_ns: rto,
+            sent_at: now,
         });
         // The frame piggybacked our full receiver state for dst: the ack
         // debt is settled.
@@ -245,15 +319,31 @@ impl ReliableSession {
         }
         let ack = u64::from_le_bytes(rel[..8].try_into().expect("8 bytes"));
         let sack = u32::from_le_bytes(rel[8..12].try_into().expect("4 bytes"));
-        let flags = rel[12];
+        let epoch = u32::from_le_bytes(rel[12..16].try_into().expect("4 bytes"));
+        let flags = rel[16];
         if flags > FLAG_ACK {
             return RelRecv::Malformed;
         }
+        // Epoch gate BEFORE any ack or sequence processing: after a rejoin
+        // both sides restart at seq 0, so a straggler's cumulative ack (or
+        // its seq) from the dead incarnation aliases live numbers and would
+        // silently cancel or duplicate fresh frames.
+        if epoch != ep.fabric_epoch() {
+            lci_trace::incr(Counter::FabricEpochStaleDropped);
+            return RelRecv::Stale;
+        }
+        let now = ep.now_ns();
         let mut p = self.peers[src as usize].lock();
-        // Harvest ack state first — every frame carries it.
+        // Harvest ack state first — every frame carries it. Frames acked on
+        // their first transmission yield unambiguous RTT samples (Karn's
+        // rule) feeding the adaptive timeout.
         let mut acked = 0u64;
+        let mut rtt_samples: Vec<u64> = Vec::new();
         while p.tx.window.front().is_some_and(|u| u.seq < ack) {
-            p.tx.window.pop_front();
+            let u = p.tx.window.pop_front().expect("front checked");
+            if u.retries == 0 {
+                rtt_samples.push(now.saturating_sub(u.sent_at));
+            }
             acked += 1;
         }
         if sack != 0 {
@@ -262,12 +352,24 @@ impl ReliableSession {
                     u.seq > ack && u.seq <= ack + 32 && (sack >> (u.seq - ack - 1)) & 1 == 1;
                 if hit {
                     acked += 1;
+                    if u.retries == 0 {
+                        rtt_samples.push(now.saturating_sub(u.sent_at));
+                    }
                 }
                 !hit
             });
         }
         if acked > 0 {
             lci_trace::add(Counter::FabricReliableAcked, acked);
+        }
+        if !rtt_samples.is_empty() {
+            for rtt in rtt_samples {
+                p.tx.observe_rtt(rtt);
+            }
+            lci_trace::set(
+                Counter::FabricReliableRtoUs,
+                p.tx.initial_rto(&self.cfg) / 1_000,
+            );
         }
         if flags == FLAG_ACK {
             return RelRecv::Ack;
@@ -360,7 +462,8 @@ impl ReliableSession {
                 let mut rel = [0u8; REL_OVERHEAD];
                 rel[..8].copy_from_slice(&p.rx.gate.watermark().to_le_bytes());
                 rel[8..12].copy_from_slice(&p.rx.gate.mask_above().to_le_bytes());
-                rel[12] = FLAG_ACK;
+                rel[12..16].copy_from_slice(&ep.fabric_epoch().to_le_bytes());
+                rel[16] = FLAG_ACK;
                 // Acks are not sequenced (the receiver never gates them)
                 // and never retransmitted — data retransmission re-arms the
                 // debt if one is lost.
@@ -386,6 +489,13 @@ impl ReliableSession {
     /// Unacked frames currently windowed toward `peer` (diagnostics).
     pub fn unacked(&self, peer: HostId) -> usize {
         self.peers[peer as usize].lock().tx.window.len()
+    }
+
+    /// The adaptive initial-timeout estimate toward `peer`, in nanoseconds
+    /// (diagnostics). Equals the configured base until the first RTT sample
+    /// arrives.
+    pub fn current_rto_ns(&self, peer: HostId) -> u64 {
+        self.peers[peer as usize].lock().tx.initial_rto(&self.cfg)
     }
 
     /// True while any peer is owed an acknowledgement not yet on the wire.
@@ -598,8 +708,112 @@ mod tests {
         assert_eq!(s.on_recv(&eps[1], 0, 1, &tiny), RelRecv::Malformed);
         // Valid frame, undefined flags value.
         let mut rel = [0u8; REL_OVERHEAD];
-        rel[12] = 2;
+        rel[16] = 2;
         let bad_flags = frame::seal(1, 0, &rel);
         assert_eq!(s.on_recv(&eps[1], 0, 1, &bad_flags), RelRecv::Malformed);
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_dropped_before_ack_or_gate_state() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 21));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        let c0 = lci_trace::global().snapshot();
+        // Seal a frame under epoch 0, then respawn (epoch 1) before it is
+        // stepped across the wire: the delivered frame is a straggler.
+        sessions[0].send(&eps[0], 1, 5, b"old world", 0).unwrap();
+        f.respawn(1);
+        sessions.iter().for_each(|s| s.rejoin());
+        f.drain();
+        let mut verdicts = Vec::new();
+        while let Some(ev) = eps[1].poll() {
+            if let Event::Recv { src, header, data } = ev {
+                verdicts.push(sessions[1].on_recv(&eps[1], src, header, &data));
+            }
+        }
+        assert_eq!(verdicts, vec![RelRecv::Stale]);
+        let d = lci_trace::global().snapshot().delta(&c0);
+        assert!(d.get(Counter::FabricEpochStaleDropped) >= 1);
+        // The straggler must not have polluted the fresh incarnation: a
+        // post-rejoin exchange starts at seq 0 and round-trips cleanly.
+        sessions[0].send(&eps[0], 1, 6, b"new world", 0).unwrap();
+        f.drain();
+        let mut got = Vec::new();
+        while let Some(ev) = eps[1].poll() {
+            if let Event::Recv { src, header, data } = ev {
+                if sessions[1].on_recv(&eps[1], src, header, &data) == RelRecv::Data {
+                    got.push(data[REL_DATA_OFFSET..].to_vec());
+                }
+            }
+        }
+        assert_eq!(got, vec![b"new world".to_vec()]);
+    }
+
+    #[test]
+    fn rejoin_resets_windows_sequences_and_dead_flags() {
+        let plan =
+            FaultPlan::none().with_phase(0, u64::MAX / 2, Fault::Blackhole { peer: 1 });
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 22).with_fault_plan(plan));
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        sessions[0].send(&eps[0], 1, 1, b"doomed", 0).unwrap();
+        let mut iters = 0;
+        while sessions[0].dead_peer().is_none() {
+            iters += 1;
+            assert!(iters < 1_000);
+            f.advance_virtual(f.config().reliable.rto_cap_ns);
+            sessions[0].pump(&eps[0]);
+            f.drain();
+            while eps[0].poll().is_some() {}
+        }
+        assert_eq!(
+            sessions[0].send(&eps[0], 1, 2, b"still dead", 0),
+            Err(SendError::PeerDead(1))
+        );
+        sessions[0].rejoin();
+        assert_eq!(sessions[0].dead_peer(), None, "rejoin clears peer death");
+        assert_eq!(sessions[0].unacked(1), 0);
+        assert!(!sessions[0].acks_owed());
+        // The send path is open again (the blackhole plan still eats the
+        // traffic, but admission no longer reports PeerDead).
+        assert_eq!(sessions[0].send(&eps[0], 1, 3, b"reopened", 0), Ok(()));
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_observed_round_trip() {
+        let mut cfg = FabricConfig::deterministic(2, 23);
+        // Widen the clamp band so adaptation is visible below the default
+        // 400 µs floor (the deterministic wire's RTT is ~2 µs).
+        cfg.reliable.rto_base_ns = 1_000;
+        cfg.reliable.rto_jitter_ns = 0;
+        let f = Fabric::new_manual(cfg);
+        let eps = f.endpoints();
+        let sessions: Vec<_> = eps.iter().map(ReliableSession::new).collect();
+        let mut rtos = Vec::new();
+        for i in 0..8u64 {
+            sessions[0].send(&eps[0], 1, 10 + i, b"sample", 0).unwrap();
+            drain_and_classify(&f, &eps, &sessions);
+            // Standalone ack from host 1 carries the cumulative ack back.
+            f.advance_virtual(f.config().reliable.ack_delay_ns + 1);
+            sessions[1].pump(&eps[1]);
+            drain_and_classify(&f, &eps, &sessions);
+            assert_eq!(sessions[0].unacked(1), 0, "round {i} acked");
+            rtos.push(sessions[0].current_rto_ns(1));
+        }
+        // After samples arrive the timeout must depart from the static base
+        // and reflect the (ack-delay dominated) observed round-trip.
+        let last = *rtos.last().unwrap();
+        assert!(
+            last > f.config().reliable.rto_base_ns,
+            "adaptive RTO should exceed the 1 µs floor once RTT ~100 µs is observed, got {rtos:?}"
+        );
+        assert!(
+            last <= f.config().reliable.rto_cap_ns,
+            "adaptive RTO must respect the cap"
+        );
+        assert!(
+            lci_trace::global().get(Counter::FabricReliableRtoUs) > 0,
+            "the rto_us gauge must be published"
+        );
     }
 }

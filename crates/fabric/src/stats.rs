@@ -27,6 +27,7 @@ pub(crate) struct EndpointStats {
     pub fault_truncated: AtomicU64,
     pub fault_dropped: AtomicU64,
     pub fault_blackholed: AtomicU64,
+    pub fault_crashed: AtomicU64,
 }
 
 impl EndpointStats {
@@ -136,6 +137,14 @@ impl EndpointStats {
         lci_trace::record(EventKind::Fault, 7, 0);
     }
 
+    /// On the crashed host: its crash-stop trigger fired (once per crash).
+    /// On a survivor: a delivery it sent was eaten by a peer's crash.
+    pub fn record_fault_crashed(&self) {
+        self.fault_crashed.fetch_add(1, Ordering::Relaxed);
+        lci_trace::add(Counter::FabricFaultCrashed, 1);
+        lci_trace::record(EventKind::Fault, 8, 0);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sends: self.sends.load(Ordering::Relaxed),
@@ -155,6 +164,7 @@ impl EndpointStats {
             fault_truncated: self.fault_truncated.load(Ordering::Relaxed),
             fault_dropped: self.fault_dropped.load(Ordering::Relaxed),
             fault_blackholed: self.fault_blackholed.load(Ordering::Relaxed),
+            fault_crashed: self.fault_crashed.load(Ordering::Relaxed),
         }
     }
 }
@@ -198,6 +208,9 @@ pub struct StatsSnapshot {
     pub fault_dropped: u64,
     /// Deliveries *sent by* this endpoint that vanished into a blackhole.
     pub fault_blackholed: u64,
+    /// On the crashed host, its own crash-stop event (exactly 1 per crash);
+    /// on survivors, deliveries they sent that were eaten by a peer's crash.
+    pub fault_crashed: u64,
 }
 
 impl StatsSnapshot {
@@ -222,6 +235,7 @@ impl StatsSnapshot {
             + self.fault_truncated
             + self.fault_dropped
             + self.fault_blackholed
+            + self.fault_crashed
     }
 }
 

@@ -22,7 +22,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,11 @@ pub(crate) enum WireOp {
         data: Vec<u8>,
         ctx: u64,
         imm: Option<u64>,
+        /// Recovery epoch at injection time. A put that crosses a respawn
+        /// (injected before, delivered after) is stale: its write is
+        /// suppressed instead of landing in — or raising `BadMr` against —
+        /// the respawned host's re-registered memory.
+        epoch: u32,
     },
     Shutdown,
 }
@@ -78,6 +83,17 @@ pub(crate) struct FabricShared {
     pub(crate) virtual_now: AtomicU64,
     /// Is this fabric caller-stepped (virtual clock)?
     pub(crate) manual: bool,
+    /// Incarnation epoch, bumped by every [`Fabric::respawn`]. Frames and
+    /// puts are stamped with the epoch current at injection; anything that
+    /// crosses an epoch boundary in flight is a straggler from a dead
+    /// incarnation and is discarded at delivery (wire) or admission
+    /// (reliable sublayer).
+    pub(crate) recovery_epoch: AtomicU32,
+    /// Per-host crash-stop flags, set by the wire when a
+    /// [`crate::Fault::Crash`] trigger fires and cleared by
+    /// [`Fabric::respawn`]. While set, every delivery involving the host
+    /// vanishes and the host's own endpoint reports failed.
+    pub(crate) crashed: Vec<AtomicBool>,
 }
 
 /// A simulated cluster interconnect.
@@ -135,6 +151,7 @@ impl Fabric {
         // A brownout phase starting at t=0 must throttle admission before
         // the wire has executed a single event.
         let depth0 = config.fault_plan.brownout_at(0).unwrap_or(usize::MAX);
+        let crashed = (0..config.num_hosts).map(|_| AtomicBool::new(false)).collect();
         let shared = Arc::new(FabricShared {
             config,
             endpoints,
@@ -144,6 +161,8 @@ impl Fabric {
             epoch: Instant::now(),
             virtual_now: AtomicU64::new(0),
             manual,
+            recovery_epoch: AtomicU32::new(0),
+            crashed,
         });
         if manual {
             let core = WireCore::new(Arc::clone(&shared), inj_rx, Clock::Virtual(0));
@@ -237,6 +256,49 @@ impl Fabric {
         self.manual.as_ref().map(|m| m.lock().now_ns())
     }
 
+    /// Hosts currently dead from a [`crate::Fault::Crash`] trigger, in rank
+    /// order. Empty when nothing has crashed (or every crash has been
+    /// [`Fabric::respawn`]ed).
+    pub fn crashed_hosts(&self) -> Vec<HostId> {
+        self.shared
+            .crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Acquire))
+            .map(|(h, _)| h as HostId)
+            .collect()
+    }
+
+    /// Current incarnation epoch: 0 at construction, bumped once per
+    /// [`Fabric::respawn`].
+    pub fn recovery_epoch(&self) -> u32 {
+        self.shared.recovery_epoch.load(Ordering::Acquire)
+    }
+
+    /// Bring a crashed host back under a new incarnation epoch.
+    ///
+    /// The host's wire presence is restored, its endpoint's failed flag is
+    /// cleared, and — exactly as on real RDMA hardware, where a process
+    /// restart invalidates every pinned region — all of its registered
+    /// memory regions are dropped, so the new incarnation must re-register
+    /// before accepting puts. The global epoch is bumped *before* the host
+    /// rejoins: any frame or put still in flight from the dead incarnation
+    /// (or queued unconsumed at a survivor) carries the old epoch and is
+    /// discarded on sight rather than poisoning the resumed run.
+    ///
+    /// The crash trigger does not re-arm: a plan crashes each host at most
+    /// once. Calling this on a host that never crashed is allowed (it only
+    /// bumps the epoch and clears the MRs), which keeps recovery drivers
+    /// simple when they retry generously.
+    pub fn respawn(&self, host: HostId) {
+        self.shared.recovery_epoch.fetch_add(1, Ordering::AcqRel);
+        self.shared.crashed[host as usize].store(false, Ordering::Release);
+        let ep = &self.shared.endpoints[host as usize];
+        ep.failed.store(false, Ordering::Release);
+        ep.mrs.lock().clear();
+        lci_trace::incr(lci_trace::Counter::FabricEpochRespawns);
+    }
+
     /// Manual mode only: advance the virtual clock by up to `ns`, but never
     /// past the next scheduled delivery (stepping past it would deliver out
     /// of order). Returns the clock after the jump.
@@ -310,6 +372,14 @@ struct WireCore {
     rng: SmallRng,
     /// Deliveries held back by an active reorder phase.
     reorder_buf: Vec<WireOp>,
+    /// Per-host count of real deliveries involving the host, driving
+    /// [`crate::Fault::Crash`] triggers. Packet counts — not timestamps —
+    /// make the crash point schedule-deterministic in both wire modes.
+    crash_pkts: Vec<u64>,
+    /// Latched once a host's crash trigger has fired; a respawn clears the
+    /// shared crashed flag but never this latch, so each plan crashes each
+    /// host at most once.
+    crash_fired: Vec<bool>,
 }
 
 impl WireCore {
@@ -325,7 +395,49 @@ impl WireCore {
             seq: 0,
             rng: SmallRng::seed_from_u64(seed),
             reorder_buf: Vec::new(),
+            crash_pkts: vec![0; n],
+            crash_fired: vec![false; n],
         }
+    }
+
+    /// Advance the crash triggers of `src` and `dst` by one delivered
+    /// packet. When a host's count reaches its `after_packets` threshold the
+    /// host dies: its crashed flag is raised (the wire eats all further
+    /// traffic involving it — including the triggering delivery itself) and
+    /// its endpoint is failed so the host's own threads abort instead of
+    /// spinning on a dead NIC.
+    fn note_crash_progress(&mut self, src: HostId, dst: HostId) {
+        if self.shared.config.fault_plan.is_empty() {
+            return;
+        }
+        self.bump_crash_trigger(src);
+        if dst != src {
+            self.bump_crash_trigger(dst);
+        }
+    }
+
+    fn bump_crash_trigger(&mut self, host: HostId) {
+        let h = host as usize;
+        if self.crash_fired[h] {
+            return;
+        }
+        let Some(after) = self.shared.config.fault_plan.crash_for(host) else {
+            return;
+        };
+        self.crash_pkts[h] += 1;
+        if self.crash_pkts[h] >= after {
+            self.crash_fired[h] = true;
+            self.shared.crashed[h].store(true, Ordering::Release);
+            let ep = &self.shared.endpoints[h];
+            ep.failed.store(true, Ordering::Release);
+            ep.stats.record_fault_crashed();
+        }
+    }
+
+    /// Is either side of a delivery currently crashed?
+    fn involves_crashed(&self, src: HostId, dst: HostId) -> bool {
+        self.shared.crashed[src as usize].load(Ordering::Acquire)
+            || self.shared.crashed[dst as usize].load(Ordering::Acquire)
     }
 
     fn now_ns(&self) -> u64 {
@@ -653,6 +765,24 @@ impl WireCore {
                 let d = Arc::clone(&self.shared.endpoints[dst as usize]);
                 let s = Arc::clone(&self.shared.endpoints[src as usize]);
                 let now = self.now_ns();
+                // Crash-stop: count this delivery against any armed crash
+                // triggers, then eat it if either side is dead. Like a
+                // blackhole, the sender still observes SendDone (the packet
+                // left its NIC; the host died on the far side of the wire),
+                // so completion bookkeeping — pool cookies, inflight windows
+                // — survives a peer's death and the crashed host's own
+                // in-flight sends still release their leases for rejoin.
+                if !ghost {
+                    self.note_crash_progress(src, dst);
+                }
+                if self.involves_crashed(src, dst) {
+                    if !ghost {
+                        s.stats.record_fault_crashed();
+                        s.cq.push(Event::SendDone { ctx });
+                        s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    return;
+                }
                 // Lossy faults eat the delivery outright. The sender still
                 // observes SendDone — the packet left its NIC and the wire
                 // swallowed it — so completion bookkeeping above the fabric
@@ -752,9 +882,30 @@ impl WireCore {
                 data,
                 ctx,
                 imm,
+                epoch,
             } => {
                 let d = Arc::clone(&self.shared.endpoints[dst as usize]);
                 let s = Arc::clone(&self.shared.endpoints[src as usize]);
+                self.note_crash_progress(src, dst);
+                let cur = self.shared.recovery_epoch.load(Ordering::Acquire);
+                if epoch != cur || self.involves_crashed(src, dst) {
+                    // A put from a dead incarnation, or one racing a crash.
+                    // Its write must not land (the respawned host's memory
+                    // map belongs to the new incarnation), and crucially it
+                    // must not surface `BadMr` either — respawn clears the
+                    // target's registered regions, so a straggler aimed at a
+                    // vanished MR would otherwise fatally poison a healthy
+                    // *survivor*. Complete the sender's put (the packet left
+                    // its NIC) and swallow everything else.
+                    if epoch != cur {
+                        lci_trace::incr(lci_trace::Counter::FabricEpochStaleDropped);
+                    } else {
+                        s.stats.record_fault_crashed();
+                    }
+                    s.cq.push(Event::PutDone { ctx, epoch });
+                    s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
                 let mr = d.mrs.lock().get(&key.0).cloned();
                 let ok = match mr {
                     Some(mr) => {
@@ -769,12 +920,13 @@ impl WireCore {
                     None => false,
                 };
                 if ok {
-                    s.cq.push(Event::PutDone { ctx });
+                    s.cq.push(Event::PutDone { ctx, epoch });
                     if let Some(imm) = imm {
                         d.cq.push(Event::PutArrived {
                             src,
                             imm,
                             len: data.len() as u32,
+                            epoch,
                         });
                     }
                 } else {
@@ -1036,6 +1188,108 @@ mod tests {
         a.try_put(1, mr.key(), 0, &[1, 2, 3, 4], 0, None).unwrap();
         f.drain();
         assert_eq!(mr.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn crash_fault_kills_a_host_after_n_packets() {
+        let plan = FaultPlan::none().with_phase(
+            0,
+            u64::MAX / 2,
+            Fault::Crash { host: 1, after_packets: 2 },
+        );
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 5).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        a.try_send(1, 1, b"one", 0).unwrap();
+        f.drain();
+        assert!(
+            matches!(b.poll(), Some(Event::Recv { .. })),
+            "packets below the threshold are delivered"
+        );
+        assert!(f.crashed_hosts().is_empty());
+        a.try_send(1, 2, b"two", 1).unwrap();
+        f.drain();
+        assert!(b.poll().is_none(), "the triggering packet is itself lost");
+        assert_eq!(f.crashed_hosts(), vec![1]);
+        assert!(b.is_failed(), "the crashed host's own endpoint is failed");
+        a.try_send(1, 3, b"three", 2).unwrap();
+        f.drain();
+        assert!(b.poll().is_none(), "post-crash traffic vanishes");
+        let mut done = 0;
+        while let Some(ev) = a.poll() {
+            if matches!(ev, Event::SendDone { .. }) {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 3, "senders observe completion for eaten packets");
+        assert_eq!(a.inflight(), 0, "crash must release injection slots");
+        assert!(a.stats().fault_crashed >= 1);
+        assert_eq!(b.stats().fault_crashed, 1, "the crash event itself is counted once");
+    }
+
+    #[test]
+    fn respawn_bumps_epoch_and_restores_wire_presence() {
+        let plan = FaultPlan::none().with_phase(
+            0,
+            u64::MAX / 2,
+            Fault::Crash { host: 1, after_packets: 1 },
+        );
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 9).with_fault_plan(plan));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        let _mr = b.register_mr(4);
+        a.try_send(1, 1, b"x", 0).unwrap();
+        f.drain();
+        assert_eq!(f.crashed_hosts(), vec![1]);
+        assert_eq!(f.recovery_epoch(), 0);
+        f.respawn(1);
+        assert!(f.crashed_hosts().is_empty());
+        assert_eq!(f.recovery_epoch(), 1);
+        assert!(!b.is_failed());
+        assert_eq!(
+            b.registered_mrs(),
+            0,
+            "respawn drops the dead incarnation's memory registrations"
+        );
+        a.try_send(1, 2, b"y", 1).unwrap();
+        f.drain();
+        match b.poll() {
+            Some(Event::Recv { header, .. }) => assert_eq!(header, 2),
+            other => panic!("respawned host must hear new traffic, got {other:?}"),
+        }
+        // The trigger does not re-arm: further traffic keeps flowing.
+        a.try_send(1, 3, b"z", 2).unwrap();
+        f.drain();
+        assert!(matches!(b.poll(), Some(Event::Recv { .. })));
+        assert!(f.crashed_hosts().is_empty());
+    }
+
+    #[test]
+    fn stale_puts_from_a_dead_incarnation_are_swallowed_not_bad_mr() {
+        let f = Fabric::new_manual(FabricConfig::deterministic(2, 11));
+        let a = f.endpoint(0);
+        let b = f.endpoint(1);
+        let mr = b.register_mr(4);
+        a.try_put(1, mr.key(), 0, &[9, 9, 9, 9], 7, Some(42)).unwrap();
+        // Respawn before the wire moves: the in-flight put is now stale.
+        f.respawn(1);
+        f.drain();
+        assert_eq!(mr.to_vec(), vec![0, 0, 0, 0], "a stale put must not write");
+        let mut events = Vec::new();
+        while let Some(ev) = a.poll() {
+            events.push(ev);
+        }
+        assert!(
+            events.iter().any(|e| matches!(e, Event::PutDone { ctx: 7, .. })),
+            "the sender's completion still fires: {events:?}"
+        );
+        assert!(
+            !events.iter().any(|e| matches!(e, Event::Error { .. })),
+            "a stale put aimed at a cleared MR must not surface BadMr: {events:?}"
+        );
+        assert!(b.poll().is_none(), "no stale PutArrived");
+        assert_eq!(a.stats().errors, 0);
+        assert_eq!(a.inflight(), 0);
     }
 
     #[test]

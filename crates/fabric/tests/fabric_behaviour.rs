@@ -67,7 +67,7 @@ fn rdma_put_writes_remote_region_and_notifies() {
     let mut put_done = false;
     poll_until(
         || {
-            if let Some(Event::PutDone { ctx }) = a.poll() {
+            if let Some(Event::PutDone { ctx, .. }) = a.poll() {
                 assert_eq!(ctx, 99);
                 put_done = true;
             }
@@ -78,7 +78,7 @@ fn rdma_put_writes_remote_region_and_notifies() {
     let mut arrived = false;
     poll_until(
         || {
-            if let Some(Event::PutArrived { src, imm, len }) = b.poll() {
+            if let Some(Event::PutArrived { src, imm, len, .. }) = b.poll() {
                 assert_eq!(src, 0);
                 assert_eq!(imm, 0xF00D);
                 assert_eq!(len, 32);

@@ -8,9 +8,11 @@
 //! volume exactly as Gemini's dense/sparse `signal/slot` machinery does.
 
 use abelian::apps::App;
+use abelian::checkpoint::{CheckpointStore, CkptPlan, Snapshot};
 use abelian::comm::{channels, ChannelSpec, CommLayer};
 use abelian::label::{Label, LabelVec};
 use abelian::metrics::{HostMetrics, RoundMetrics};
+use abelian::recovery::{RecoveryConfig, RecoveryWorld};
 use abelian::{HostResult, RunResult};
 use lci_graph::{DistGraph, Partitioning, Policy, Vid};
 use lci_trace::{record, Counter, EventKind, Span};
@@ -71,6 +73,22 @@ pub fn run_gemini_checked<A: App>(
     layers: &[Arc<dyn CommLayer>],
     cfg: &GeminiConfig,
 ) -> Result<RunResult<A::Acc>, String> {
+    run_gemini_with_ckpt(parts, app, layers, cfg, None)
+}
+
+/// Like [`run_gemini_checked`], with optional coordinated checkpointing:
+/// when `ckpt` is given, every host snapshots its vertex state into the
+/// plan's store every `every` rounds (at the round boundary, after the
+/// control barrier) and restores the plan's `resume_from` round before its
+/// first round. The crash-recovery driver [`run_gemini_recoverable`] loops
+/// over this primitive.
+pub fn run_gemini_with_ckpt<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    layers: &[Arc<dyn CommLayer>],
+    cfg: &GeminiConfig,
+    ckpt: Option<&CkptPlan>,
+) -> Result<RunResult<A::Acc>, String> {
     assert_eq!(
         parts.policy,
         Policy::EdgeCutBlocked,
@@ -115,7 +133,7 @@ pub fn run_gemini_checked<A: App>(
                 let layer = Arc::clone(&layers[h]);
                 let spec = specs[h].clone();
                 let cfg = cfg.clone();
-                scope.spawn(move || host_main(part, &*app, &*layer, &cfg, spec))
+                scope.spawn(move || host_main(part, &*app, &*layer, &cfg, spec, ckpt))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("host")).collect()
@@ -141,12 +159,53 @@ pub fn run_gemini_checked<A: App>(
     })
 }
 
+/// Run a Gemini app with crash recovery: on an abort with crashed hosts
+/// present, recover the world (epoch probe, respawn, rejoin), roll every
+/// host back to the newest common checkpoint, and re-run — up to
+/// `rec.max_attempts` attempts. An abort with no crashed host is returned
+/// as-is. The Gemini twin of [`abelian::recovery::run_app_recoverable`].
+pub fn run_gemini_recoverable<A: App>(
+    parts: &Partitioning,
+    app: Arc<A>,
+    rw: &mut RecoveryWorld,
+    cfg: &GeminiConfig,
+    rec: &RecoveryConfig,
+    store: &Arc<CheckpointStore>,
+) -> Result<RunResult<A::Acc>, String> {
+    let mut resume_from = None;
+    let mut last_err = String::new();
+    for _attempt in 0..rec.max_attempts.max(1) {
+        let layers = rw.layers();
+        let plan = CkptPlan {
+            store: Arc::clone(store),
+            every: rec.ckpt_every,
+            resume_from,
+        };
+        match run_gemini_with_ckpt(parts, Arc::clone(&app), &layers, cfg, Some(&plan)) {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                if rw.fabric().crashed_hosts().is_empty() {
+                    return Err(e);
+                }
+                last_err = e;
+                rw.recover();
+                resume_from = store.latest_common();
+            }
+        }
+    }
+    Err(format!(
+        "recovery abandoned after {} attempts; last error: {last_err}",
+        rec.max_attempts.max(1)
+    ))
+}
+
 fn host_main<A: App>(
     part: &DistGraph,
     app: &A,
     layer: &dyn CommLayer,
     cfg: &GeminiConfig,
     spec: ChannelSpec,
+    ckpt: Option<&CkptPlan>,
 ) -> Result<HostResult<A::Acc>, String> {
     let p = part.num_hosts;
     let me = part.host;
@@ -166,6 +225,50 @@ fn host_main<A: App>(
         }
     }
 
+    // ---- checkpoint restore: same protocol as the abelian engine ---------
+    let mut round = 0usize;
+    if let Some(plan) = ckpt {
+        if let Some(r0) = plan.resume_from {
+            let snap = plan
+                .store
+                .load(me, r0)
+                .map_err(|e| format!("host {me}: checkpoint restore of round {r0}: {e}"))?;
+            let [lab, cons, chg] = snap.sections.as_slice() else {
+                return Err(format!(
+                    "host {me}: checkpoint of round {r0} has {} sections, want 3",
+                    snap.sections.len()
+                ));
+            };
+            if !labels.restore_bits(lab) {
+                return Err(format!("host {me}: checkpoint label section size mismatch"));
+            }
+            match &consumed {
+                Some(c) => {
+                    if !c.restore_bits(cons) {
+                        return Err(format!(
+                            "host {me}: checkpoint consumed section size mismatch"
+                        ));
+                    }
+                }
+                None => {
+                    if !cons.is_empty() {
+                        return Err(format!(
+                            "host {me}: checkpoint has consumed section but app has none"
+                        ));
+                    }
+                }
+            }
+            if chg.len() != nl {
+                return Err(format!("host {me}: checkpoint changed section size mismatch"));
+            }
+            for (flag, &b) in changed.iter().zip(chg.iter()) {
+                flag.store(b != 0, Ordering::Relaxed);
+            }
+            round = snap.round as usize;
+            lci_trace::incr(Counter::EngineCkptRestores);
+        }
+    }
+
     layer.register_channel(channels::REDUCE, spec);
     layer.register_channel(channels::CONTROL, ChannelSpec::uniform(p, me, 16));
 
@@ -177,7 +280,6 @@ fn host_main<A: App>(
     };
 
     let mut metrics = HostMetrics::default();
-    let mut round = 0usize;
 
     loop {
         let round_start = Instant::now();
@@ -356,7 +458,28 @@ fn host_main<A: App>(
             sent_bytes,
         });
         round += 1;
-        if total == 0 || round >= max_rounds {
+        let done = total == 0 || round >= max_rounds;
+
+        // ---- coordinated checkpoint save: the control barrier above
+        // synchronized every host at this round boundary, so saving here
+        // yields a globally consistent cut without extra messages.
+        if let Some(plan) = ckpt {
+            if !done && plan.every > 0 && (round as u64) % plan.every == 0 {
+                let chg: Vec<u8> =
+                    changed.iter().map(|f| f.load(Ordering::Acquire) as u8).collect();
+                let snap = Snapshot {
+                    round: round as u64,
+                    sections: vec![
+                        labels.save_bits(),
+                        consumed.as_ref().map(|c| c.save_bits()).unwrap_or_default(),
+                        chg,
+                    ],
+                };
+                plan.store.save(me, &snap);
+            }
+        }
+
+        if done {
             break;
         }
     }

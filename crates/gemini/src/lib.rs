@@ -19,4 +19,6 @@
 
 pub mod engine;
 
-pub use engine::{run_gemini, run_gemini_checked, GeminiConfig};
+pub use engine::{
+    run_gemini, run_gemini_checked, run_gemini_recoverable, run_gemini_with_ckpt, GeminiConfig,
+};

@@ -377,6 +377,23 @@ impl MpiComm {
         Ok(st)
     }
 
+    /// Seal one empty reliable frame to every peer under the *current*
+    /// fabric epoch. The recovery driver calls this on each surviving
+    /// communicator of the dead incarnation immediately before
+    /// [`respawn`](lci_fabric::Fabric::respawn) bumps the epoch: the probes
+    /// land after the bump, the fresh communicators' epoch gates classify
+    /// them stale, and the `fabric.epoch.stale_dropped` evidence of the
+    /// discarded incarnation is deterministic even when the survivors had
+    /// quiesced before the crash was noticed. Bypasses `enter()` — the
+    /// communicator is typically already failed — and ignores send errors.
+    pub fn flush_epoch_probe(&self) {
+        for dst in 0..self.inner.nranks as u16 {
+            if dst != self.inner.rank {
+                let _ = self.inner.rel.send(&self.inner.ep, dst, 0, &[], CTX_IGNORE);
+            }
+        }
+    }
+
     /// Total times an MPI call spun on NIC back-pressure (degradation
     /// diagnostics — the MPI-side analogue of LCI's measured retries).
     pub fn backpressure_spins(&self) -> u64 {
@@ -487,6 +504,12 @@ impl MpiComm {
                 ));
             }
         }
+        if st.failed.is_none() && inner.ep.is_failed() {
+            // The fabric endpoint itself died (e.g. this rank's crash-stop
+            // fault fired): abort the rank's own calls promptly instead of
+            // letting them spin against a dead NIC.
+            st.failed = Some("fabric endpoint failed (host crashed)".to_string());
+        }
         while let Some(ev) = inner.ep.poll() {
             match ev {
                 Event::Recv { src, header, data } => {
@@ -507,6 +530,10 @@ impl MpiComm {
                             continue;
                         }
                         RelRecv::Ack => continue,
+                        // Sealed under a dead fabric incarnation (counted by
+                        // the reliable layer): its cookies belong to state
+                        // torn down at the rejoin — never decode them.
+                        RelRecv::Stale => continue,
                     }
                     let (kind, tag, seq) = unpack(header);
                     match kind {
@@ -588,7 +615,10 @@ impl MpiComm {
                 Event::SendDone { ctx } => {
                     debug_assert_eq!(ctx, CTX_IGNORE);
                 }
-                Event::PutDone { ctx } => match ctx {
+                // PutDone is consumed regardless of its epoch: the cookie
+                // must be reclaimed exactly once whether or not the put's
+                // memory write was suppressed as stale.
+                Event::PutDone { ctx, .. } => match ctx {
                     CTX_RMA_PUT => {
                         inner.outstanding_rma_puts.fetch_sub(1, Ordering::AcqRel);
                     }
@@ -599,12 +629,22 @@ impl MpiComm {
                         req.mark_done();
                     }
                 },
-                Event::PutArrived { imm, .. } => {
+                Event::PutArrived { imm, epoch, .. } => {
                     if imm == CTX_IGNORE {
                         continue;
                     }
-                    // SAFETY: our RTR carried this cookie; echoed once.
+                    // SAFETY: our RTR carried this cookie; echoed once, and
+                    // the fabric emits no PutArrived for stale-epoch puts,
+                    // so the cookie is unconsumed here.
                     let req = unsafe { take_req(imm) };
+                    if epoch != inner.ep.fabric_epoch() {
+                        // Straggler queued before a respawn but consumed
+                        // after this rank rejoined: reclaim the parked
+                        // reference without completing it.
+                        lci_trace::incr(Counter::FabricEpochStaleDropped);
+                        req.mark_error();
+                        continue;
+                    }
                     let mut p = req.payload.lock();
                     if let ReqPayload::RecvMr(mr) =
                         std::mem::replace(&mut *p, ReqPayload::Empty)

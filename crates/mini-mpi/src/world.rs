@@ -53,6 +53,25 @@ impl MpiWorld {
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
     }
+
+    /// Open a new communicator epoch after a crashed host was brought back
+    /// with [`Fabric::respawn`]: every rank gets a fresh communicator over
+    /// a fresh window registry, discarding all matching state, reorder
+    /// stages, sequence counters, and windows of the dead incarnation.
+    ///
+    /// This is mini-mpi's whole-world analogue of `MPI_Comm_revoke` +
+    /// `MPI_Comm_shrink` + re-spawn in ULFM: recovery re-executes every
+    /// round past the last checkpoint, so nothing in the old communicators
+    /// is worth salvaging. Previously returned [`MpiComm`] clones (and
+    /// windows created through them) must not be used again; in-flight
+    /// frames of the old incarnation are dropped by the reliable layer's
+    /// epoch gate wherever they land.
+    pub fn rejoin(&mut self, mpi_cfg: MpiConfig) {
+        let registry = WinRegistry::new();
+        self.comms = (0..self.fabric.num_hosts())
+            .map(|h| MpiComm::new(self.fabric.endpoint(h), mpi_cfg.clone(), registry.clone()))
+            .collect();
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@ pub enum Unit {
     Bytes,
     /// Accumulated nanoseconds.
     Nanos,
+    /// Microsecond gauge: last-written value, not an accumulation.
+    Micros,
 }
 
 impl Unit {
@@ -27,7 +29,15 @@ impl Unit {
             Unit::Count => "count",
             Unit::Bytes => "bytes",
             Unit::Nanos => "ns",
+            Unit::Micros => "us",
         }
+    }
+
+    /// Gauges hold a last-written value rather than an accumulated sum, so
+    /// snapshot *deltas* of a gauge are meaningless (and excluded from
+    /// replay-equality checks alongside wall-clock units).
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Unit::Micros)
     }
 }
 
@@ -89,12 +99,16 @@ counters! {
     (FabricFaultTruncated, "fabric.fault.truncated", Count),
     (FabricFaultDropped, "fabric.fault.dropped", Count),
     (FabricFaultBlackholed, "fabric.fault.blackholed", Count),
+    (FabricFaultCrashed, "fabric.fault.crashed", Count),
+    (FabricEpochRespawns, "fabric.epoch.respawns", Count),
+    (FabricEpochStaleDropped, "fabric.epoch.stale_dropped", Count),
     (FabricFrameWindowOverflow, "fabric.frame.window_overflow", Count),
     (FabricReliableRetransmits, "fabric.reliable.retransmits", Count),
     (FabricReliableAcksSent, "fabric.reliable.acks_sent", Count),
     (FabricReliableAcked, "fabric.reliable.acked", Count),
     (FabricReliableWindowStalls, "fabric.reliable.window_stalls", Count),
     (FabricReliablePeerDead, "fabric.reliable.peer_dead", Count),
+    (FabricReliableRtoUs, "fabric.reliable.rto_us", Micros),
     // -- lci core: device / pool / backoff --------------------------------
     (LciEgrSent, "lci.egr_sent", Count),
     (LciRdvOpened, "lci.rdv_opened", Count),
@@ -119,6 +133,9 @@ counters! {
     (EngineCommSendRetries, "engine.comm_send_retries", Count),
     (EngineCommRecvStalls, "engine.comm_recv_stalls", Count),
     (EngineMalformedDropped, "engine.malformed_dropped", Count),
+    (EngineCkptSaves, "engine.ckpt.saves", Count),
+    (EngineCkptRestores, "engine.ckpt.restores", Count),
+    (EngineCkptBytes, "engine.ckpt.bytes", Bytes),
     // -- phase timers (accumulated by Span guards) ------------------------
     (PhaseComputeNs, "phase.compute_ns", Nanos),
     (PhaseReduceNs, "phase.reduce_ns", Nanos),
@@ -158,6 +175,14 @@ impl Registry {
     #[inline]
     pub fn incr(&self, c: Counter) {
         self.add(c, 1);
+    }
+
+    /// Overwrite `c` with `value` — for gauge-style counters (e.g. the
+    /// current smoothed RTO) where the latest observation, not a running
+    /// sum, is the useful number.
+    #[inline]
+    pub fn set(&self, c: Counter, value: u64) {
+        self.slots[c as usize].0.store(value, Ordering::Relaxed);
     }
 
     /// Current value of `c`.
@@ -200,6 +225,12 @@ pub fn add(c: Counter, delta: u64) {
 #[inline]
 pub fn incr(c: Counter) {
     GLOBAL.incr(c);
+}
+
+/// Convenience: overwrite gauge `c` in the global registry.
+#[inline]
+pub fn set(c: Counter, value: u64) {
+    GLOBAL.set(c, value);
 }
 
 /// Immutable copy of the whole counter table at one instant.

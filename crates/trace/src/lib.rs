@@ -26,7 +26,7 @@ pub mod report;
 pub mod ring;
 pub mod span;
 
-pub use counters::{add, global, incr, Counter, CounterSnapshot, Registry, Unit};
+pub use counters::{add, global, incr, set, Counter, CounterSnapshot, Registry, Unit};
 pub use regress::{compare, Violation};
 pub use report::{BenchReport, Direction, Metric, PhaseNs, SCHEMA_VERSION};
 pub use ring::{record, with_ring, EventKind, Ring, TraceEvent};

@@ -12,7 +12,9 @@
 # replay line. Legs: the stress suite (timing faults), the loss suite
 # (whole-run Drop{prob_ppm: 50_000} recovery + blackhole peer-death
 # aborts), the wire-hardening suite (frame/decoder proptests +
-# corrupt/duplicate/truncate chaos runs), and clippy over the fault-bearing
+# corrupt/duplicate/truncate chaos runs), the crash-recovery suite (seeded
+# mid-run crash-stop of one host per engine per comm layer, recovered via
+# coordinated checkpoint/restart), and clippy over the fault-bearing
 # crates (fabric frame/wire/reliable, lci protocol, mini-mpi).
 #
 # Bench-smoke: a seconds-scale benchmark (tiny deterministic graph, 2
@@ -74,6 +76,14 @@ for seed in 1 7 42 1337; do
     chaos_run "$seed" loss_chaos
 done
 chaos_run 1337 wire_hardening
+# Crash leg: a seeded mid-run crash-stop of one host, per engine per comm
+# layer, must recover bit-identically from the newest common checkpoint —
+# and still abort bounded when recovery is disabled. The packet-count
+# trigger rides the seeded wire schedule, so each seed is a distinct,
+# replayable crash point.
+for seed in 1 7 42 1337; do
+    chaos_run "$seed" crash_recovery
+done
 echo "=== chaos: clippy (fault-bearing crates, -D warnings) ==="
 cargo clippy --release -p lci-fabric -p lci -p mini-mpi -- -D warnings
 echo "ALL TESTS OK"

@@ -1,0 +1,81 @@
+//! Property-based tests of the checkpoint wire format: the seal/open pair
+//! must round-trip every snapshot bit-for-bit, reject every single-bit
+//! corruption and every truncation, and stay total (no panics) on
+//! arbitrary byte soup. A checkpoint is the *only* state a crashed host
+//! gets back, so "open() accepted it" has to imply "this is exactly what
+//! seal() was given".
+
+use abelian::checkpoint::{open, seal, CheckpointStore, Snapshot};
+use proptest::prelude::*;
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        any::<u64>(),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..6),
+    )
+        .prop_map(|(round, sections)| Snapshot { round, sections })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every snapshot survives a seal/open round trip unchanged.
+    #[test]
+    fn seal_open_round_trips(snap in arb_snapshot()) {
+        let bytes = seal(&snap);
+        prop_assert_eq!(open(&bytes), Ok(snap));
+    }
+
+    /// Any single flipped bit anywhere in the sealed image — magic, round,
+    /// section lengths, payload bytes, or the CRC trailer itself — is
+    /// rejected. The CRC covers everything the magic check does not.
+    #[test]
+    fn any_flipped_bit_is_rejected(snap in arb_snapshot(), flip in any::<usize>()) {
+        let mut bytes = seal(&snap);
+        let bit = flip % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open(&bytes).is_err(), "flipped bit {bit} was accepted");
+    }
+
+    /// Any proper prefix of a sealed image is rejected: a checkpoint cut
+    /// short by a dying writer can never be mistaken for a shorter one.
+    #[test]
+    fn any_truncation_is_rejected(snap in arb_snapshot(), cut in any::<usize>()) {
+        let bytes = seal(&snap);
+        let keep = cut % bytes.len();
+        prop_assert!(open(&bytes[..keep]).is_err(), "prefix of {keep} bytes was accepted");
+    }
+
+    /// `open` is total: arbitrary bytes produce a verdict, never a panic or
+    /// an out-of-bounds read. (Random bytes essentially never carry a valid
+    /// magic *and* CRC, but the property under test is totality, not
+    /// rejection.)
+    #[test]
+    fn open_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = open(&bytes);
+    }
+
+    /// The store's rollback target is the newest round saved on *every*
+    /// host: `latest_common` must equal the model (min over hosts of each
+    /// host's max saved round), and be `None` whenever any host has saved
+    /// nothing.
+    #[test]
+    fn latest_common_matches_model(
+        hosts in 1usize..5,
+        saves in prop::collection::vec((0usize..5, 0u64..20), 0..30),
+    ) {
+        let store = CheckpointStore::new(hosts);
+        let mut model: Vec<Option<u64>> = vec![None; hosts];
+        for &(host_sel, round) in &saves {
+            let h = host_sel % hosts;
+            store.save(h as u16, &Snapshot { round, sections: vec![] });
+            model[h] = Some(model[h].map_or(round, |m: u64| m.max(round)));
+        }
+        let expect = model
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()
+            .map(|maxes| maxes.into_iter().min().unwrap());
+        prop_assert_eq!(store.latest_common(), expect);
+    }
+}

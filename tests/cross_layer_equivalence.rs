@@ -216,6 +216,82 @@ proptest! {
     }
 }
 
+/// The crash-stop corner of the matrix: a seeded mid-run crash of one host —
+/// alone, and combined with packet loss and wire corruption — must not change
+/// answers on any layer once coordinated checkpoint/restart recovery re-runs
+/// the aborted rounds. BFS on a *descending* path pins the frontier to one
+/// hop per round (the engines' ascending in-round sweep cannot shortcut it),
+/// so the packet-count trigger reliably fires mid-run, after checkpoints
+/// exist. Equality is against the same crash-free reference as everywhere
+/// else in this suite: recovery may cost time, never answers.
+#[test]
+fn bfs_equivalent_with_crash_recovery_under_combined_faults() {
+    use abelian::{run_app_recoverable, CheckpointStore, RecoveryConfig, RecoveryWorld};
+    const WHOLE_RUN: u64 = u64::MAX / 2;
+    let n: usize = 40;
+    let edges: Vec<(lci_graph::Vid, lci_graph::Vid)> = (1..n)
+        .map(|i| (i as lci_graph::Vid, i as lci_graph::Vid - 1))
+        .collect();
+    let g = CsrGraph::from_edges(n, &edges);
+    let source = n as u32 - 1;
+    let hosts = 3;
+    let parts = partition(&g, hosts, Policy::EdgeCutBlocked);
+    parts.validate(&g);
+    let expect = reference::bfs(&g, source);
+    // Selector bit 1 adds Drop, bit 2 adds Corrupt; the crash is always on.
+    for selector in 0u64..4 {
+        let mut plan = FaultPlan::none().with_phase(
+            0,
+            WHOLE_RUN,
+            Fault::Crash {
+                host: 1,
+                after_packets: 300,
+            },
+        );
+        if selector & 1 != 0 {
+            plan = plan.with_phase(0, WHOLE_RUN, Fault::Drop { prob_ppm: 20_000 });
+        }
+        if selector & 2 != 0 {
+            plan = plan.with_phase(0, WHOLE_RUN, Fault::Corrupt { flips: 3 });
+        }
+        for kind in LayerKind::all() {
+            let store = CheckpointStore::new(hosts);
+            let mut rw = RecoveryWorld::new(
+                kind,
+                FabricConfig::test(hosts)
+                    .with_seed(0xC4A5 + selector)
+                    .with_fault_plan(plan.clone()),
+                mini_mpi::MpiConfig::default()
+                    .with_personality(mini_mpi::Personality::zero()),
+                lci::LciConfig::for_hosts(hosts),
+            );
+            let r = run_app_recoverable(
+                &parts,
+                Arc::new(Bfs { source }),
+                &mut rw,
+                &EngineConfig::default(),
+                &RecoveryConfig {
+                    ckpt_every: 4,
+                    max_attempts: 4,
+                },
+                &store,
+            )
+            .unwrap_or_else(|e| panic!("layer {} selector {selector}: {e}", kind.name()));
+            assert_eq!(
+                r.values,
+                expect,
+                "layer {} selector {selector} plan {plan:?}",
+                kind.name()
+            );
+            assert!(
+                rw.fabric().endpoint(1).stats().fault_crashed > 0,
+                "layer {} selector {selector}: crash never fired",
+                kind.name()
+            );
+        }
+    }
+}
+
 /// A fixed (non-proptest) chaos matrix, so `--test cross_layer_equivalence`
 /// exercises every fault combination deterministically on every CI run —
 /// proptest's 8 random cases may not cover all selectors. SSSP's f64

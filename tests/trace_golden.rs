@@ -103,9 +103,99 @@ fn manual_lossy_run(seed: u64) -> Vec<(Counter, u64)> {
     ALL_COUNTERS.iter().map(|&c| (c, delta.get(c))).collect()
 }
 
+/// A full crash-stop lifecycle on a manual-clock wire: stream toward a host
+/// that the fault plan kills mid-stream, let the sender's retransmission
+/// budget exhaust against the silence, probe the dying epoch, respawn the
+/// host under a bumped incarnation, rejoin every device, and prove the new
+/// incarnation delivers. Single-threaded and virtual-time, so the entire
+/// schedule — which delivery trips the crash, how many retransmissions die
+/// at the wire, which probes surface as stale-epoch drops — is a pure
+/// function of the seed.
+fn manual_crash_run(seed: u64) -> Vec<(Counter, u64)> {
+    let before = lci_trace::global().snapshot();
+    let plan = FaultPlan::none().with_phase(
+        0,
+        u64::MAX / 2,
+        Fault::Crash {
+            host: 2,
+            after_packets: 12,
+        },
+    );
+    let fcfg = FabricConfig::deterministic(3, seed).with_fault_plan(plan);
+    let f = Fabric::new_manual(fcfg);
+    let a = Device::new(f.endpoint(0), LciConfig::default());
+    let b = Device::new(f.endpoint(1), LciConfig::default());
+    let c = Device::new(f.endpoint(2), LciConfig::default());
+    const N: u32 = 16;
+    // Phase 1: stream toward host 2 until the crash fires and host 0's
+    // retry budget declares it dead. Virtual time is advanced by hand when
+    // the wire idles so the retransmission timers can burn their budget.
+    let mut sent = 0u32;
+    let mut guard = 0u32;
+    while !a.is_failed() {
+        guard += 1;
+        assert!(guard < 1_000_000, "crash was never detected");
+        if sent < N {
+            match a.send_enq(Bytes::from(vec![sent as u8; 24]), 2, sent) {
+                Ok(_) => sent += 1,
+                Err(e) if e.is_retryable() => {}
+                Err(_) => break, // peer already declared dead at enqueue
+            }
+        }
+        if !f.step() {
+            f.advance_virtual(200_000);
+        }
+        a.progress();
+        b.progress();
+        c.progress();
+        while c.recv_deq().is_some() {}
+    }
+    // Phase 2: recovery. Survivors seal one probe per peer under the dying
+    // epoch, the fabric respawns host 2 under a bumped incarnation, and
+    // every device rejoins. The survivor↔survivor probes surface later as
+    // stale-epoch drops — deterministic evidence the old incarnation was
+    // discarded rather than replayed.
+    a.flush_epoch_probe();
+    b.flush_epoch_probe();
+    f.respawn(2);
+    a.rejoin();
+    b.rejoin();
+    c.rejoin();
+    // Phase 3: the respawned incarnation must carry fresh traffic.
+    let mut sent = 0u32;
+    let mut got = 0u32;
+    let mut guard = 0u32;
+    while got < N {
+        guard += 1;
+        assert!(guard < 1_000_000, "post-respawn workload wedged at {got}/{N}");
+        if sent < N {
+            match a.send_enq(Bytes::from(vec![sent as u8; 24]), 2, sent) {
+                Ok(_) => sent += 1,
+                Err(e) if e.is_retryable() => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        if !f.step() {
+            f.advance_virtual(200_000);
+        }
+        a.progress();
+        b.progress();
+        c.progress();
+        while c.recv_deq().is_some() {
+            got += 1;
+        }
+    }
+    f.drain();
+    let after = lci_trace::global().snapshot();
+    let delta = after.delta(&before);
+    ALL_COUNTERS.iter().map(|&c| (c, delta.get(c))).collect()
+}
+
 /// Same seed ⇒ identical counter deltas for every count/byte-valued counter.
 /// Time-valued (`ns`) counters are excluded: they measure the host clock,
-/// not the virtual schedule.
+/// not the virtual schedule. Gauges are excluded too: a gauge holds a
+/// last-written value, so its snapshot *delta* is not a meaningful quantity
+/// to compare across runs.
 #[test]
 fn counter_deltas_replay_bit_for_bit() {
     let _g = TRACE_LOCK.lock().unwrap();
@@ -114,7 +204,7 @@ fn counter_deltas_replay_bit_for_bit() {
     let d2 = manual_lci_run(seed);
     for (&(c1, v1), &(c2, v2)) in d1.iter().zip(d2.iter()) {
         assert_eq!(c1.name(), c2.name());
-        if c1.unit() == Unit::Nanos {
+        if c1.unit() == Unit::Nanos || c1.unit().is_gauge() {
             continue;
         }
         assert_eq!(
@@ -145,7 +235,7 @@ fn reliable_recovery_replays_bit_for_bit_under_loss() {
     let d2 = manual_lossy_run(seed);
     for (&(c1, v1), &(c2, v2)) in d1.iter().zip(d2.iter()) {
         assert_eq!(c1.name(), c2.name());
-        if c1.unit() == Unit::Nanos {
+        if c1.unit() == Unit::Nanos || c1.unit().is_gauge() {
             continue;
         }
         assert_eq!(
@@ -165,6 +255,40 @@ fn reliable_recovery_replays_bit_for_bit_under_loss() {
     assert!(get(Counter::FabricReliableAcksSent) > 0, "no standalone acks");
     assert!(get(Counter::FabricReliableAcked) > 0, "no frames acked");
     assert_eq!(get(Counter::FabricReliablePeerDead), 0, "spurious peer death");
+}
+
+/// Crash-recovery determinism: same `FABRIC_SEED` + same crash plan ⇒
+/// bit-identical counter deltas for the whole detect→probe→respawn→rejoin→
+/// resume lifecycle. A crash-chaos failure seed is therefore a complete
+/// reproduction recipe, exactly like a loss-chaos one.
+#[test]
+fn crash_recovery_replays_bit_for_bit() {
+    let _g = TRACE_LOCK.lock().unwrap();
+    let seed = fabric_seed();
+    let d1 = manual_crash_run(seed);
+    let d2 = manual_crash_run(seed);
+    for (&(c1, v1), &(c2, v2)) in d1.iter().zip(d2.iter()) {
+        assert_eq!(c1.name(), c2.name());
+        if c1.unit() == Unit::Nanos || c1.unit().is_gauge() {
+            continue;
+        }
+        assert_eq!(
+            v1, v2,
+            "counter {} diverged between identical crash-seeded runs: {v1} vs {v2}",
+            c1.name()
+        );
+    }
+    // The lifecycle must have actually happened: a crash fired, the peer
+    // was declared dead, the host respawned, and stragglers of the dead
+    // incarnation were dropped by the epoch gate.
+    let get = |c: Counter| d1.iter().find(|(k, _)| *k == c).unwrap().1;
+    assert!(get(Counter::FabricFaultCrashed) > 0, "crash never fired");
+    assert!(get(Counter::FabricReliablePeerDead) > 0, "peer never declared dead");
+    assert!(get(Counter::FabricEpochRespawns) > 0, "respawn not recorded");
+    assert!(
+        get(Counter::FabricEpochStaleDropped) > 0,
+        "no stale-epoch drops: old incarnation left no evidence"
+    );
 }
 
 /// The calling thread's event ring observes the sends the counters report:
